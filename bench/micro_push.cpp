@@ -1,0 +1,126 @@
+// E8 — engineering micro-benchmarks (google-benchmark).
+//
+// Measures the primitives everything else is built on, and quantifies the
+// design choices DESIGN.md calls out for ablation:
+//   * incremental VoC (O(1)) vs a full O(N·procs) rescan,
+//   * single Push cost vs grid size,
+//   * full DFA run cost vs grid size,
+//   * candidate construction and archetype classification.
+#include <benchmark/benchmark.h>
+
+#include "dfa/dfa.hpp"
+#include "grid/builder.hpp"
+#include "grid/metrics.hpp"
+#include "push/beautify.hpp"
+#include "shapes/archetype.hpp"
+#include "shapes/candidates.hpp"
+
+namespace pushpart {
+namespace {
+
+const Ratio kRatio{3, 2, 1};
+
+void BM_PartitionSet(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Partition q(n);
+  Rng rng(1);
+  int i = 0, j = 0;
+  for (auto _ : state) {
+    q.set(i, j, static_cast<Proc>(rng.below(3)));
+    if (++j == n) {
+      j = 0;
+      if (++i == n) i = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartitionSet)->Arg(100)->Arg(1000);
+
+void BM_VoCIncremental(benchmark::State& state) {
+  Rng rng(2);
+  const auto q = randomPartition(static_cast<int>(state.range(0)), kRatio, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(q.volumeOfCommunication());
+}
+BENCHMARK(BM_VoCIncremental)->Arg(100)->Arg(1000);
+
+void BM_VoCFullRescan(benchmark::State& state) {
+  // The ablation baseline: recompute Eq. 1 from the per-line owner counts.
+  Rng rng(2);
+  const auto q = randomPartition(static_cast<int>(state.range(0)), kRatio, rng);
+  for (auto _ : state) {
+    std::int64_t voc = 0;
+    for (int i = 0; i < q.n(); ++i) {
+      voc += static_cast<std::int64_t>(q.n()) * (q.procsInRow(i) - 1);
+      voc += static_cast<std::int64_t>(q.n()) * (q.procsInCol(i) - 1);
+    }
+    benchmark::DoNotOptimize(voc);
+  }
+}
+BENCHMARK(BM_VoCFullRescan)->Arg(100)->Arg(1000);
+
+void BM_SinglePush(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const auto start = randomPartition(n, kRatio, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Partition q = start;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tryPush(q, Proc::R, Direction::Down));
+  }
+}
+BENCHMARK(BM_SinglePush)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_FullDfaRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    const Schedule schedule = Schedule::random(rng);
+    auto result = runDfa(randomPartition(n, kRatio, rng), schedule, {});
+    benchmark::DoNotOptimize(result.vocEnd);
+  }
+}
+BENCHMARK(BM_FullDfaRun)->Arg(30)->Arg(60)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_Beautify(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const auto start = randomPartition(n, kRatio, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Partition q = start;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(beautify(q).pushesApplied);
+  }
+}
+BENCHMARK(BM_Beautify)->Arg(30)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_MakeCandidate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto q = makeCandidate(CandidateShape::kSquareCorner, n, Ratio{5, 1, 1});
+    benchmark::DoNotOptimize(q.volumeOfCommunication());
+  }
+}
+BENCHMARK(BM_MakeCandidate)->Arg(100)->Arg(1000);
+
+void BM_ClassifyArchetype(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto q = makeCandidate(CandidateShape::kBlockRectangle, n, kRatio);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(classifyArchetype(q).archetype);
+}
+BENCHMARK(BM_ClassifyArchetype)->Arg(100)->Arg(500);
+
+void BM_PairVolumes(benchmark::State& state) {
+  Rng rng(5);
+  const auto q = randomPartition(static_cast<int>(state.range(0)), kRatio, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(pairVolumes(q));
+}
+BENCHMARK(BM_PairVolumes)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace pushpart
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// E9 — the paper's §XI direction: beyond three processors.
+//
+// Two parts:
+//   1. Two-processor validation: the generalized engine rebuilds the prior
+//      work's candidates and reproduces the classical 3:1 crossover the
+//      paper quotes in §II (Square-Corner beats Straight-Line iff P_r > 3).
+//   2. Four-and-more-processor exploration: randomized condensation runs
+//      through the k-ary Push engine, reporting how often every slow
+//      processor ends (asymptotically) rectangular and how strongly VoC
+//      contracts — the experimental groundwork for the k ≥ 4 taxonomy the
+//      paper leaves open.
+//
+//   ./nproc_explore [--n=48] [--runs=30] [--seed=9]
+//                   [--speeds=8:4:2:1,4:2:2:1:1,...]
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "nproc/nsearch.hpp"
+#include "nproc/nshapes.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+using namespace pushpart;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int n = static_cast<int>(flags.i64("n", 48));
+  const int runs = static_cast<int>(flags.i64("runs", 30));
+  const auto seed = static_cast<std::uint64_t>(flags.i64("seed", 9));
+
+  std::cout << "E9 (paper Sec. XI direction): the generalized k-processor "
+               "engine\n\n";
+
+  // --- Part 1: two-processor validation ---------------------------------
+  std::cout << "Two-processor validation (prior-work claims quoted in the "
+               "paper's Sec. II):\n";
+  Table two({"P_r", "StraightLine VoC/N^2", "SquareCorner VoC/N^2", "winner"});
+  bool crossoverOk = true;
+  for (double p : {1.0, 2.0, 3.0, 4.0, 6.0, 10.0, 15.0}) {
+    const auto sl = makeTwoProcCandidate(TwoProcShape::kStraightLine, 200, p);
+    const auto sc = makeTwoProcCandidate(TwoProcShape::kSquareCorner, 200, p);
+    const double slV =
+        static_cast<double>(sl.volumeOfCommunication()) / (200.0 * 200.0);
+    const double scV =
+        static_cast<double>(sc.volumeOfCommunication()) / (200.0 * 200.0);
+    const bool scWins = scV < slV;
+    if (p > kTwoProcCrossover + 0.5 && !scWins) crossoverOk = false;
+    if (p < kTwoProcCrossover - 0.5 && scWins) crossoverOk = false;
+    char buf[3][32];
+    std::snprintf(buf[0], 32, "%.0f", p);
+    std::snprintf(buf[1], 32, "%.4f", slV);
+    std::snprintf(buf[2], 32, "%.4f", scV);
+    two.addRow({buf[0], buf[1], buf[2],
+                scWins ? "Square-Corner" : "Straight-Line"});
+  }
+  two.print(std::cout);
+  std::printf("crossover at P_r = %.0f (classical result: 3)\n\n",
+              kTwoProcCrossover);
+
+  // --- Part 2: k >= 4 exploration ----------------------------------------
+  std::vector<NSpeeds> vectors;
+  if (flags.has("speeds")) {
+    std::istringstream in(flags.str("speeds", ""));
+    std::string token;
+    while (std::getline(in, token, ',')) vectors.push_back(NSpeeds::parse(token));
+  } else {
+    for (const char* spec :
+         {"8:4:2:1", "4:2:2:1:1", "10:3:2:1", "6:5:4:3:2:1"})
+      vectors.push_back(NSpeeds::parse(spec));
+  }
+
+  std::cout << "k-processor condensation (" << runs << " runs each, n=" << n
+            << "):\n";
+  Table table({"speeds", "k", "allRect runs", "avg rect procs", "avg overlaps",
+               "avg VoC shrink", "candidate dominates"});
+  bool condensesEverywhere = true;
+  bool candidatesDominate = true;
+  for (const NSpeeds& speeds : vectors) {
+    // Best canonical k = 4 candidate (when this is a 4-processor vector):
+    // the weak Postulate 1 check — search outputs must never undercut it.
+    std::int64_t bestCandidate = -1;
+    if (speeds.speeds.size() == 4) {
+      for (FourProcShape shape :
+           {FourProcShape::kCornerSquares, FourProcShape::kBlockColumns,
+            FourProcShape::kColumnStrips}) {
+        if (!fourProcFeasible(shape, n, speeds)) continue;
+        const auto voc =
+            makeFourProcCandidate(shape, n, speeds).volumeOfCommunication();
+        if (bestCandidate < 0 || voc < bestCandidate) bestCandidate = voc;
+      }
+    }
+
+    Rng master(seed);
+    int allRect = 0;
+    int dominated = 0;
+    double rectProcs = 0, overlaps = 0, shrink = 0;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng = master.split(static_cast<std::uint64_t>(run));
+      const auto result = runNSearch(n, speeds, rng);
+      allRect += result.stats.allSlowRectangular ? 1 : 0;
+      rectProcs += result.stats.rectangularProcs;
+      overlaps += result.stats.overlappingPairs;
+      shrink += 1.0 - static_cast<double>(result.vocEnd) /
+                          static_cast<double>(result.vocStart);
+      if (result.vocEnd > result.vocStart) condensesEverywhere = false;
+      if (bestCandidate >= 0) {
+        if (bestCandidate <= result.vocEnd) ++dominated;
+        else candidatesDominate = false;
+      }
+    }
+    char cells[5][32];
+    std::snprintf(cells[0], 32, "%d/%d", allRect, runs);
+    std::snprintf(cells[1], 32, "%.2f/%d", rectProcs / runs,
+                  static_cast<int>(speeds.speeds.size()) - 1);
+    std::snprintf(cells[2], 32, "%.2f", overlaps / runs);
+    std::snprintf(cells[3], 32, "%.0f%%", 100.0 * shrink / runs);
+    if (bestCandidate >= 0) {
+      std::snprintf(cells[4], 32, "%d/%d", dominated, runs);
+    } else {
+      std::snprintf(cells[4], 32, "n/a");
+    }
+    table.addRow({speeds.str(), std::to_string(speeds.speeds.size()),
+                  cells[0], cells[1], cells[2], cells[3], cells[4]});
+  }
+  table.print(std::cout);
+
+  const bool ok = crossoverOk && condensesEverywhere && candidatesDominate;
+  std::cout << (ok ? "\nRESULT: 3:1 two-processor crossover reproduced; the "
+                     "k-ary Push condenses every run without increasing VoC; "
+                     "canonical k=4 candidates dominate every search output "
+                     "— the paper's extensibility claim holds.\n"
+                   : "\nRESULT: unexpected behaviour in the generalized "
+                     "engine.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+#include "dfa/batch.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "grid/builder.hpp"
+#include "support/check.hpp"
+
+namespace pushpart {
+
+void runBatch(const BatchOptions& options,
+              const std::function<void(const BatchRun&)>& onResult) {
+  PUSHPART_CHECK(options.runs >= 0);
+  PUSHPART_CHECK(options.n > 0);
+  PUSHPART_CHECK_MSG(options.ratio.valid(),
+                     "invalid ratio " << options.ratio.str());
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int threads = options.threads > 0
+                          ? options.threads
+                          : static_cast<int>(hw > 0 ? hw : 2);
+
+  std::atomic<int> next{0};
+  std::mutex resultMutex;
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  const Rng master(options.seed);
+
+  auto worker = [&]() {
+    try {
+      for (;;) {
+        const int run = next.fetch_add(1);
+        if (run >= options.runs) return;
+        // Independent, reproducible stream per run index.
+        Rng rng = master.split(static_cast<std::uint64_t>(run));
+
+        Schedule schedule = Schedule::random(rng);
+        Partition q0 =
+            rng.chance(options.clusteredStartFraction)
+                ? randomClusteredPartition(options.n, options.ratio, rng)
+                : randomPartition(options.n, options.ratio, rng);
+        BatchRun ctx(run, schedule,
+                     runDfa(std::move(q0), schedule, options.dfa));
+
+        std::lock_guard<std::mutex> lock(resultMutex);
+        onResult(ctx);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(errorMutex);
+      if (!firstError) firstError = std::current_exception();
+      next.store(options.runs);  // drain remaining work
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace pushpart

@@ -1,0 +1,91 @@
+// The DFA search program (paper §V–§VI): random start state, repeated Push,
+// condensed accept states.
+//
+// The paper frames the search as a DFA: states Q are all element arrangements,
+// the alphabet Σ is (active processor, direction), the transition function δ
+// is the Push operation, q0 is random, and the accept states F are the fixed
+// points where no legal Push remains. runDfa drives one such walk to an
+// accept state:
+//
+//   * It sweeps the schedule's slots round-robin, applying every push that
+//     fires; a full sweep with no applied push means the partition is
+//     condensed w.r.t. the schedule's direction set (paper §VI-C).
+//   * VoC-preserving pushes (Types Five/Six) could in principle wander or
+//     cycle forever; state hashing at non-improving sweep boundaries detects
+//     cycles, and a stall cap bounds plateaus (design ablation in DESIGN.md).
+//   * Optionally a beautify pass (paper §VIII-C) then applies the strictly
+//     improving pushes the schedule never selected, turning Archetype C
+//     interlocks into Archetype A.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfa/schedule.hpp"
+#include "grid/partition.hpp"
+#include "push/beautify.hpp"
+#include "push/push.hpp"
+
+namespace pushpart {
+
+struct DfaOptions {
+  /// Hard cap on applied pushes (safety net; never hit in practice).
+  std::int64_t maxPushes = 50'000'000;
+  /// Snapshot the partition every `traceEvery` applied pushes (0 = off).
+  std::int64_t traceEvery = 0;
+  /// Rendering budget for trace snapshots (characters per side).
+  int traceCells = 50;
+  /// Run the beautify pass on the condensed result (paper §VIII-C).
+  bool beautifyResult = true;
+  /// Consecutive non-improving sweeps tolerated before declaring a stall.
+  int maxStalledSweeps = 50;
+};
+
+/// Point-in-time view of a run, for Fig. 7 style visualisation.
+struct TraceSnapshot {
+  std::int64_t pushesApplied = 0;
+  std::int64_t voc = 0;
+  std::string art;  ///< renderAscii() at options.traceCells granularity.
+};
+
+/// Why the walk stopped.
+enum class DfaStop {
+  kCondensed,     ///< Full sweep with no applicable push — an accept state.
+  kCycle,         ///< Revisited a state on a VoC plateau.
+  kStalled,       ///< Too many non-improving sweeps.
+  kPushBudget,    ///< options.maxPushes exhausted.
+};
+
+constexpr const char* dfaStopName(DfaStop s) {
+  switch (s) {
+    case DfaStop::kCondensed: return "condensed";
+    case DfaStop::kCycle: return "cycle";
+    case DfaStop::kStalled: return "stalled";
+    case DfaStop::kPushBudget: return "push-budget";
+  }
+  return "?";
+}
+
+struct DfaResult {
+  /// Partition is not default-constructible, so neither is DfaResult; the
+  /// runner seeds it with the start state and mutates in place.
+  explicit DfaResult(Partition start) : final(std::move(start)) {}
+
+  Partition final;  ///< The accept-state partition (post-beautify if enabled).
+  DfaStop stop = DfaStop::kCondensed;
+  std::int64_t pushesApplied = 0;
+  std::int64_t sweeps = 0;
+  std::int64_t vocStart = 0;
+  std::int64_t vocEnd = 0;
+  BeautifyResult beautify;  ///< Zeroed when options.beautifyResult is false.
+  std::vector<TraceSnapshot> trace;
+};
+
+/// Runs the DFA from `q0` under `schedule`. The returned partition is an
+/// accept state of the schedule's direction set (and, with beautify on, has
+/// no strictly-improving push in any direction).
+DfaResult runDfa(Partition q0, const Schedule& schedule,
+                 const DfaOptions& options = {});
+
+}  // namespace pushpart

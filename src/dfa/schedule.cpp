@@ -1,0 +1,55 @@
+#include "dfa/schedule.hpp"
+
+#include <algorithm>
+
+namespace pushpart {
+
+Schedule Schedule::random(Rng& rng) {
+  Schedule out;
+  // Randomly choose which slow processor is considered first (paper §VI-A).
+  std::vector<Proc> procs(kSlowProcs.begin(), kSlowProcs.end());
+  rng.shuffle(procs);
+
+  for (Proc p : procs) {
+    // 1–4 directions, distinct, in random order.
+    std::vector<Direction> dirs(kAllDirections.begin(), kAllDirections.end());
+    rng.shuffle(dirs);
+    const auto howMany = 1 + rng.below(4);
+    dirs.resize(howMany);
+    for (Direction d : dirs) out.slots.push_back({p, d});
+  }
+  // Shuffle the combined order so direction applications interleave across
+  // processors as well as within one.
+  rng.shuffle(out.slots);
+  return out;
+}
+
+Schedule Schedule::full() {
+  Schedule out;
+  for (Proc p : kSlowProcs)
+    for (Direction d : kAllDirections) out.slots.push_back({p, d});
+  return out;
+}
+
+std::vector<Direction> Schedule::directionsFor(Proc p) const {
+  std::vector<Direction> dirs;
+  for (const auto& slot : slots) {
+    if (slot.active != p) continue;
+    if (std::find(dirs.begin(), dirs.end(), slot.dir) == dirs.end())
+      dirs.push_back(slot.dir);
+  }
+  return dirs;
+}
+
+std::string Schedule::str() const {
+  std::string out;
+  for (const auto& slot : slots) {
+    if (!out.empty()) out += ' ';
+    out += procName(slot.active);
+    out += ':';
+    out += directionName(slot.dir);
+  }
+  return out;
+}
+
+}  // namespace pushpart

@@ -1,0 +1,51 @@
+// Shared-memory parallel kij MMM executor over arbitrary partitions.
+//
+// Three worker threads stand in for the paper's three cluster nodes: each
+// computes exactly the C elements its processor owns in the partition, at a
+// speed emulated by a duty-cycle throttle (exec/throttle.hpp), after an
+// emulated communication phase whose duration follows the partition's
+// directed pair volumes on the Hockney machine (serial or parallel schedule,
+// matching SCB/PCB). The result is verified element-exact against the serial
+// reference. This is the repo's "real execution" substrate for the Fig. 14
+// analogue (bench/exec_mmm): wall-clock times of Square-Corner vs
+// Block-Rectangle under genuine threads, real floating-point work and real
+// sleep-based heterogeneity.
+#pragma once
+
+#include <array>
+
+#include "exec/matrix.hpp"
+#include "grid/partition.hpp"
+#include "model/algo.hpp"
+#include "model/machine.hpp"
+
+namespace pushpart {
+
+struct ExecOptions {
+  Machine machine;          ///< ratio → per-thread throttle; T_send → comm pacing.
+  bool verify = true;       ///< Check against multiplySerial (costs an O(N³) run).
+  std::uint64_t seed = 1;   ///< Input matrix seed.
+  /// Work quantum between throttle charges, in MAC operations.
+  int quantumMacs = 1 << 15;
+  /// Pace the emulated communication phase with real sleeps (true) or only
+  /// account its modeled duration (false, default — keeps tests fast).
+  bool paceCommunication = false;
+};
+
+struct ExecResult {
+  double wallSeconds = 0.0;       ///< Total measured wall time.
+  double commSeconds = 0.0;       ///< Emulated communication phase duration.
+  std::array<double, kNumProcs> computeSeconds{};  ///< Per-worker busy time.
+  std::int64_t commElements = 0;  ///< Elements crossing node boundaries.
+  double maxAbsError = 0.0;       ///< vs serial reference (0 when verify off).
+  bool verified = false;
+};
+
+/// Runs one parallel MMM of random n×n matrices partitioned by `q` under
+/// `algo` (SCB or PCB; the overlap algorithms reuse the same compute kernel
+/// through the simulator instead). Throws std::invalid_argument for other
+/// algorithms.
+ExecResult runParallelMMM(Algo algo, const Partition& q,
+                          const ExecOptions& options);
+
+}  // namespace pushpart

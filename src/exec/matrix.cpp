@@ -1,0 +1,38 @@
+#include "exec/matrix.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pushpart {
+
+Matrix randomMatrix(int n, Rng& rng) {
+  Matrix m(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m.at(i, j) = 2.0 * rng.real() - 1.0;
+  return m;
+}
+
+Matrix multiplySerial(const Matrix& a, const Matrix& b) {
+  PUSHPART_CHECK(a.n() == b.n());
+  const int n = a.n();
+  Matrix c(n, 0.0);
+  // kij order: pivot k outermost, exactly the paper's Fig. 1 schedule.
+  for (int k = 0; k < n; ++k)
+    for (int i = 0; i < n; ++i) {
+      const double aik = a.at(i, k);
+      for (int j = 0; j < n; ++j) c.at(i, j) += aik * b.at(k, j);
+    }
+  return c;
+}
+
+double maxAbsDiff(const Matrix& x, const Matrix& y) {
+  PUSHPART_CHECK(x.n() == y.n());
+  double worst = 0.0;
+  for (int i = 0; i < x.n(); ++i)
+    for (int j = 0; j < x.n(); ++j)
+      worst = std::max(worst, std::fabs(x.at(i, j) - y.at(i, j)));
+  return worst;
+}
+
+}  // namespace pushpart

@@ -1,0 +1,32 @@
+#include "exec/throttle.hpp"
+
+#include <thread>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace pushpart {
+
+Throttle::Throttle(double fraction) : fraction_(fraction) {
+  PUSHPART_CHECK_MSG(fraction > 0.0 && fraction <= 1.0,
+                     "throttle fraction must be in (0, 1], got " << fraction);
+}
+
+void Throttle::charge(double seconds) {
+  PUSHPART_CHECK(seconds >= 0.0);
+  computed_ += seconds;
+  if (fraction_ >= 1.0) return;
+  // After computing for c seconds at duty cycle f, total elapsed should be
+  // c / f; sleep the shortfall.
+  const double targetElapsed = computed_ / fraction_;
+  const double shouldSleep = targetElapsed - computed_ - slept_;
+  if (shouldSleep <= 0.0) return;
+  // Record the *measured* sleep, not the requested one: the OS oversleeps by
+  // up to a scheduler tick, and both the duty-cycle control loop and the
+  // caller's busy-time accounting (total − slept) need the real figure.
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::duration<double>(shouldSleep));
+  slept_ += sw.seconds();
+}
+
+}  // namespace pushpart

@@ -1,0 +1,37 @@
+// Duty-cycle CPU throttle emulating heterogeneous processor speeds.
+//
+// The paper controlled processor speed ratios on identical nodes with a
+// /proc-monitoring limiter: a process runs until it has consumed its CPU
+// share, then sleeps until its average rate matches the target (§X-B). This
+// throttle does the same inside a worker thread: the caller reports work in
+// quanta; whenever the thread's effective speed exceeds `fraction` of full
+// speed, the throttle sleeps long enough to restore the target duty cycle.
+#pragma once
+
+#include <chrono>
+
+namespace pushpart {
+
+class Throttle {
+ public:
+  /// fraction ∈ (0, 1]: the share of wall time this thread may compute.
+  /// 1.0 disables throttling.
+  explicit Throttle(double fraction);
+
+  /// Reports that `seconds` of pure compute just happened; sleeps if the
+  /// duty cycle is ahead of target. Call at coarse quanta (≥ ~100 µs of
+  /// work) so sleep overhead stays negligible.
+  void charge(double seconds);
+
+  /// Total time slept so far.
+  double sleptSeconds() const { return slept_; }
+
+  double fraction() const { return fraction_; }
+
+ private:
+  double fraction_;
+  double computed_ = 0.0;
+  double slept_ = 0.0;
+};
+
+}  // namespace pushpart

@@ -1,0 +1,123 @@
+#include "grid/metrics.hpp"
+
+#include <bit>
+#include <vector>
+
+namespace pushpart {
+
+ProcComm procComm(const Partition& q, Proc x) {
+  ProcComm out;
+  out.elements = q.count(x);
+  out.rowsUsed = q.rowsUsed(x);
+  out.colsUsed = q.colsUsed(x);
+  const auto n = static_cast<std::int64_t>(q.n());
+  out.sendVolume = n * out.rowsUsed + n * out.colsUsed - out.elements;
+  return out;
+}
+
+std::array<ProcComm, kNumProcs> allProcComm(const Partition& q) {
+  std::array<ProcComm, kNumProcs> out;
+  for (Proc x : kAllProcs) out[static_cast<std::size_t>(procIndex(x))] = procComm(q, x);
+  return out;
+}
+
+std::int64_t volumeOfCommunication(const Partition& q) {
+  return q.volumeOfCommunication();
+}
+
+bool isRectangle(const Partition& q, Proc x) {
+  const Rect r = q.enclosingRect(x);
+  return !r.isEmpty() && q.count(x) == r.area();
+}
+
+bool isAsymptoticallyRectangular(const Partition& q, Proc x) {
+  const Rect r = q.enclosingRect(x);
+  if (r.isEmpty()) return false;
+  if (q.count(x) == r.area()) return true;
+
+  // All missing cells must lie in one edge row or one edge column of r.
+  // Check each of the four edges: removing that line, the remainder must be
+  // completely full, and the edge itself may be partial (it is non-empty by
+  // definition of the enclosing rectangle).
+  auto rowFull = [&](int i) { return q.rowCount(x, i) >= r.width(); };
+  auto colFull = [&](int j) { return q.colCount(x, j) >= r.height(); };
+
+  auto allRowsFullExcept = [&](int skip) {
+    for (int i = r.rowBegin; i < r.rowEnd; ++i)
+      if (i != skip && !rowFull(i)) return false;
+    return true;
+  };
+  auto allColsFullExcept = [&](int skip) {
+    for (int j = r.colBegin; j < r.colEnd; ++j)
+      if (j != skip && !colFull(j)) return false;
+    return true;
+  };
+
+  // A partial top or bottom row: every other row of the rectangle is full
+  // (full rows imply full columns elsewhere automatically).
+  if (allRowsFullExcept(r.rowBegin)) return true;
+  if (allRowsFullExcept(r.rowEnd - 1)) return true;
+  if (allColsFullExcept(r.colBegin)) return true;
+  if (allColsFullExcept(r.colEnd - 1)) return true;
+  return false;
+}
+
+std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> pairVolumes(
+    const Partition& q) {
+  std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> v{};
+  const int n = q.n();
+  for (Proc s : kAllProcs) {
+    for (Proc r : kAllProcs) {
+      if (s == r) continue;
+      std::int64_t total = 0;
+      for (int i = 0; i < n; ++i)
+        if (q.rowHas(r, i)) total += q.rowCount(s, i);
+      for (int j = 0; j < n; ++j)
+        if (q.colHas(r, j)) total += q.colCount(s, j);
+      v[procSlot(s)][procSlot(r)] = total;
+    }
+  }
+  return v;
+}
+
+std::int64_t overlapElements(const Partition& q, Proc x) {
+  const int n = q.n();
+  std::int64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    if (q.rowCount(x, i) != n) continue;  // pivot row i not fully owned
+    for (int j = 0; j < n; ++j)
+      if (q.colCount(x, j) == n) ++total;  // (i,j) is X's and both pivots are
+  }
+  return total;
+}
+
+std::int64_t overlapFlopSteps(const Partition& q, Proc x) {
+  // Σ_{i,j,k} M[i][j]·M[i][k]·M[k][j]  where M is X's ownership mask.
+  // Rewritten as Σ over owned cells (i,k) of dot(row_i, row_k) using packed
+  // 64-bit row bitsets: O(#owned · N/64).
+  const int n = q.n();
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  std::vector<std::uint64_t> rows(static_cast<std::size_t>(n) * words, 0);
+  for (int i = 0; i < n; ++i) {
+    if (q.rowCount(x, i) == 0) continue;
+    auto* row = &rows[static_cast<std::size_t>(i) * words];
+    for (int j = 0; j < n; ++j)
+      if (q.at(i, j) == x)
+        row[static_cast<std::size_t>(j) / 64] |=
+            (std::uint64_t{1} << (static_cast<std::size_t>(j) % 64));
+  }
+  std::int64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    if (q.rowCount(x, i) == 0) continue;
+    const auto* ri = &rows[static_cast<std::size_t>(i) * words];
+    for (int k = 0; k < n; ++k) {
+      if (q.at(i, k) != x) continue;
+      const auto* rk = &rows[static_cast<std::size_t>(k) * words];
+      for (std::size_t w = 0; w < words; ++w)
+        total += std::popcount(ri[w] & rk[w]);
+    }
+  }
+  return total;
+}
+
+}  // namespace pushpart

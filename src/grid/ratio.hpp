@@ -1,0 +1,56 @@
+// Processor speed ratios P_r : R_r : S_r.
+//
+// The paper normalizes S_r = 1 and requires P to be the (equal-)fastest
+// processor (assumption 2, §IV). A Ratio carries the three relative speeds,
+// parses/prints the "5:2:1" notation used throughout the paper, and converts
+// speeds into per-processor element counts for an N×N matrix: processor X is
+// assigned ⌊N²·X_r/T⌉ elements where T = P_r + R_r + S_r (Eq. 12).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "grid/proc.hpp"
+
+namespace pushpart {
+
+struct Ratio {
+  double p = 1.0;  ///< P_r, the fastest processor's relative speed.
+  double r = 1.0;  ///< R_r.
+  double s = 1.0;  ///< S_r; the paper normalizes this to 1.
+
+  /// Sum of the relative speeds, T in the paper's Eq. 12.
+  double total() const { return p + r + s; }
+
+  /// Relative speed of one processor.
+  double speed(Proc x) const;
+
+  /// Fraction of the matrix owned by processor X: X_r / T.
+  double fraction(Proc x) const { return speed(x) / total(); }
+
+  /// Element counts {eR, eS, eP} for an N×N matrix, summing exactly to N².
+  /// R and S counts are rounded to nearest; P absorbs the remainder (it is
+  /// the largest share by assumption).
+  std::array<std::int64_t, kNumProcs> elementCounts(int n) const;
+
+  /// Normalized copy with s == 1 (divides all three by s).
+  Ratio normalized() const;
+
+  /// True when the assumptions of §IV hold: all speeds positive and
+  /// p >= max(r, s).
+  bool valid() const;
+
+  /// Parses "P:R:S", e.g. "5:2:1". Throws std::invalid_argument on bad input.
+  static Ratio parse(const std::string& text);
+
+  /// "P:R:S" with compact number formatting.
+  std::string str() const;
+
+  friend bool operator==(const Ratio&, const Ratio&) = default;
+};
+
+/// The eleven ratios studied experimentally in the paper (§VII).
+const std::array<Ratio, 11>& paperRatios();
+
+}  // namespace pushpart

@@ -1,0 +1,65 @@
+#include "grid/render.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace pushpart {
+
+namespace {
+char glyph(Proc p) {
+  switch (p) {
+    case Proc::P: return '.';
+    case Proc::R: return 'r';
+    case Proc::S: return 'S';
+  }
+  return '?';
+}
+}  // namespace
+
+std::string renderAscii(const Partition& q, int maxCells) {
+  PUSHPART_CHECK(maxCells > 0);
+  const int n = q.n();
+  const int blocks = std::min(n, maxCells);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(blocks) *
+              static_cast<std::size_t>(blocks + 1));
+  for (int bi = 0; bi < blocks; ++bi) {
+    const int i0 = bi * n / blocks;
+    const int i1 = (bi + 1) * n / blocks;
+    for (int bj = 0; bj < blocks; ++bj) {
+      const int j0 = bj * n / blocks;
+      const int j1 = (bj + 1) * n / blocks;
+      std::array<std::int64_t, kNumProcs> tally{};
+      for (int i = i0; i < i1; ++i)
+        for (int j = j0; j < j1; ++j)
+          ++tally[static_cast<std::size_t>(procIndex(q.at(i, j)))];
+      Proc best = Proc::P;
+      std::int64_t bestCount = -1;
+      for (Proc x : kAllProcs) {
+        const auto c = tally[static_cast<std::size_t>(procIndex(x))];
+        if (c > bestCount) {
+          bestCount = c;
+          best = x;
+        }
+      }
+      out += glyph(best);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string summaryLine(const Partition& q) {
+  std::ostringstream os;
+  os << "n=" << q.n() << " VoC=" << q.volumeOfCommunication();
+  for (Proc x : kAllProcs) {
+    os << ' ' << procName(x) << ":" << q.count(x) << " (rows " << q.rowsUsed(x)
+       << ", cols " << q.colsUsed(x) << ")";
+  }
+  return os.str();
+}
+
+}  // namespace pushpart

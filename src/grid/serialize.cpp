@@ -1,0 +1,55 @@
+#include "grid/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "grid/builder.hpp"
+
+namespace pushpart {
+
+void savePartition(const Partition& q, std::ostream& os) {
+  os << "pushpart-partition v1\n";
+  os << "n " << q.n() << '\n';
+  os << toAscii(q) << '\n';
+}
+
+void savePartition(const Partition& q, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("savePartition: cannot open " + path);
+  savePartition(q, out);
+}
+
+Partition loadPartition(std::istream& is) {
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != "pushpart-partition v1")
+    throw std::runtime_error("loadPartition: bad magic '" + magic + "'");
+  std::string nline;
+  std::getline(is, nline);
+  std::istringstream nparse(nline);
+  std::string key;
+  int n = 0;
+  nparse >> key >> n;
+  if (key != "n" || n <= 0)
+    throw std::runtime_error("loadPartition: bad size line '" + nline + "'");
+  std::string art, line;
+  for (int i = 0; i < n; ++i) {
+    if (!std::getline(is, line))
+      throw std::runtime_error("loadPartition: truncated grid");
+    art += line;
+    art += '\n';
+  }
+  Partition q = fromAscii(art);
+  if (q.n() != n)
+    throw std::runtime_error("loadPartition: grid size disagrees with header");
+  return q;
+}
+
+Partition loadPartition(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadPartition: cannot open " + path);
+  return loadPartition(in);
+}
+
+}  // namespace pushpart

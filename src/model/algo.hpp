@@ -1,0 +1,31 @@
+// The five parallel MMM algorithms modeled in the paper (§II).
+#pragma once
+
+#include <array>
+
+namespace pushpart {
+
+/// Communication/computation orchestration strategies for parallel kij MMM.
+enum class Algo {
+  kSCB = 0,  ///< Serial Communication with Barrier (Eq. 2–3).
+  kPCB = 1,  ///< Parallel Communication with Barrier (Eq. 4–6).
+  kSCO = 2,  ///< Serial Communication with Bulk Overlap (Eq. 7).
+  kPCO = 3,  ///< Parallel Communication with Bulk Overlap (Eq. 8).
+  kPIO = 4,  ///< Parallel Interleaving Overlap (Eq. 9).
+};
+
+inline constexpr std::array<Algo, 5> kAllAlgos = {
+    Algo::kSCB, Algo::kPCB, Algo::kSCO, Algo::kPCO, Algo::kPIO};
+
+constexpr const char* algoName(Algo a) {
+  switch (a) {
+    case Algo::kSCB: return "SCB";
+    case Algo::kPCB: return "PCB";
+    case Algo::kSCO: return "SCO";
+    case Algo::kPCO: return "PCO";
+    case Algo::kPIO: return "PIO";
+  }
+  return "?";
+}
+
+}  // namespace pushpart

@@ -1,0 +1,76 @@
+#include "model/closed_form.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace pushpart {
+
+double closedFormVoC(CandidateShape shape, const Ratio& ratio) {
+  PUSHPART_CHECK_MSG(ratio.valid(), "invalid ratio " << ratio.str());
+  const double t = ratio.total();
+  const double fR = ratio.r / t;
+  const double fS = ratio.s / t;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  switch (shape) {
+    case CandidateShape::kSquareCorner: {
+      const double side = std::sqrt(fR) + std::sqrt(fS);
+      if (side > 1.0) return kInf;  // Thm 9.1: squares do not fit
+      return 2.0 * side;
+    }
+    case CandidateShape::kRectangleCorner: {
+      const double wR = rectangleCornerSplit(ratio);
+      const double wS = 1.0 - wR;
+      const double hR = fR / wR;
+      const double hS = fS / wS;
+      if (hR > 1.0 || hS > 1.0) return kInf;  // corners taller than the matrix
+      return hR + hS + 1.0;
+    }
+    case CandidateShape::kSquareRectangle: {
+      const double aS = std::sqrt(fS);
+      if (fR + aS > 1.0) return kInf;  // square collides with the strip
+      return 1.0 + 2.0 * aS;
+    }
+    case CandidateShape::kBlockRectangle:
+      return 1.0 + fR + fS;
+    case CandidateShape::kLRectangle:
+      return 1.0 + (1.0 - fR);
+    case CandidateShape::kTraditionalRectangle:
+      return 1.0 + fR + fS;
+  }
+  return kInf;
+}
+
+double closedFormScbCommSeconds(CandidateShape shape, const Ratio& ratio,
+                                int n, double sendElementSeconds) {
+  PUSHPART_CHECK(n > 0);
+  return closedFormVoC(shape, ratio) * static_cast<double>(n) *
+         static_cast<double>(n) * sendElementSeconds;
+}
+
+double squareCornerCrossover(double rR, double rS, double maxP) {
+  PUSHPART_CHECK(rR > 0 && rS > 0 && maxP > 1);
+  // The Square-Corner cost 2(√(R/T)+√(S/T)) decreases in P_r while the
+  // Block-Rectangle cost 1+(R+S)/T also decreases; their difference is
+  // monotone where defined, so bisect on the sign change over the feasible
+  // interval [2√(R·S), maxP].
+  auto diff = [&](double p) {
+    const Ratio ratio{p, rR, rS};
+    return closedFormVoC(CandidateShape::kSquareCorner, ratio) -
+           closedFormVoC(CandidateShape::kBlockRectangle, ratio);
+  };
+  double lo = 2.0 * std::sqrt(rR * rS) + 1e-9;
+  if (lo < std::max(rR, rS)) lo = std::max(rR, rS);  // keep ratio valid
+  double hi = maxP;
+  if (diff(lo) <= 0.0) return lo;  // wins as soon as it is feasible
+  if (diff(hi) > 0.0) return std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (diff(mid) > 0.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace pushpart

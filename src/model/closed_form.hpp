@@ -1,0 +1,42 @@
+// Closed-form communication costs of the canonical candidate shapes
+// (paper §X-A, Fig. 13).
+//
+// With the matrix normalized to 1×1 and T = P_r + R_r + S_r, the Volume of
+// Communication of each canonical shape has a closed form in the ratio
+// alone (derived from Eq. 1 over the continuous geometry; a row/column
+// contributes (owners − 1)):
+//
+//   Square-Corner          2(√(R_r/T) + √(S_r/T))
+//   Rectangle-Corner       h_R + h_S + 1, h_X = X_r/(T·w_X), w_R+w_S = 1,
+//                          w_R = √R_r/(√R_r+√S_r)
+//   Square-Rectangle       1 + 2√(S_r/T)
+//   Block-Rectangle        1 + (R_r+S_r)/T          (paper: N(R_len + N))
+//   L-Rectangle            1 + (P_r+S_r)/T
+//   Traditional-Rectangle  1 + (R_r+S_r)/T
+//
+// Multiply by N² (and T_send) for absolute volumes; tests cross-validate
+// these against grid-measured VoC of makeCandidate() to O(N) rounding.
+#pragma once
+
+#include "grid/ratio.hpp"
+#include "shapes/candidates.hpp"
+
+namespace pushpart {
+
+/// Normalized closed-form VoC (VoC / N²) of a canonical shape. Returns +inf
+/// when the shape is infeasible for the ratio in the continuous setting
+/// (Square-Corner below the Thm 9.1 boundary).
+double closedFormVoC(CandidateShape shape, const Ratio& ratio);
+
+/// Absolute SCB communication seconds for an N×N matrix (Fig. 13/14 axis):
+/// closedFormVoC · N² · T_send.
+double closedFormScbCommSeconds(CandidateShape shape, const Ratio& ratio,
+                                int n, double sendElementSeconds);
+
+/// Solves the Fig. 13 crossover: smallest P_r (for given R_r, S_r) at which
+/// the Square-Corner's SCB cost drops below the Block-Rectangle's, searched
+/// over the feasible region P_r ≥ 2√(R_r·S_r). Returns +inf when the
+/// Square-Corner never wins below `maxP`.
+double squareCornerCrossover(double rR, double rS, double maxP = 1e4);
+
+}  // namespace pushpart

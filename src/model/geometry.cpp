@@ -1,0 +1,218 @@
+#include "model/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pushpart {
+
+namespace {
+
+[[noreturn]] void infeasible(CandidateShape shape, const Ratio& ratio) {
+  throw std::invalid_argument(std::string(candidateName(shape)) +
+                              " infeasible for ratio " + ratio.str() +
+                              " in the continuous setting");
+}
+
+}  // namespace
+
+ShapeGeometry candidateGeometry(CandidateShape shape, const Ratio& ratio) {
+  PUSHPART_CHECK_MSG(ratio.valid(), "invalid ratio " << ratio.str());
+  const double fR = ratio.fraction(Proc::R);
+  const double fS = ratio.fraction(Proc::S);
+
+  switch (shape) {
+    case CandidateShape::kSquareCorner: {
+      const double aR = std::sqrt(fR);
+      const double aS = std::sqrt(fS);
+      if (aR + aS > 1.0) infeasible(shape, ratio);  // Thm 9.1
+      return {RectD{0, aR, 0, aR}, RectD{1 - aS, 1, 1 - aS, 1}};
+    }
+    case CandidateShape::kRectangleCorner: {
+      const double wR = rectangleCornerSplit(ratio);
+      const double wS = 1.0 - wR;
+      const double hR = fR / wR;
+      const double hS = fS / wS;
+      if (hR > 1.0 || hS > 1.0) infeasible(shape, ratio);
+      return {RectD{0, hR, 0, wR}, RectD{1 - hS, 1, 1 - wS, 1}};
+    }
+    case CandidateShape::kSquareRectangle: {
+      const double aS = std::sqrt(fS);
+      if (fR + aS > 1.0) infeasible(shape, ratio);
+      return {RectD{0, 1, 0, fR}, RectD{1 - aS, 1, 1 - aS, 1}};
+    }
+    case CandidateShape::kBlockRectangle: {
+      const double h = fR + fS;
+      const double cb = fR / h;
+      return {RectD{1 - h, 1, 0, cb}, RectD{1 - h, 1, cb, 1}};
+    }
+    case CandidateShape::kLRectangle: {
+      if (fR >= 1.0) infeasible(shape, ratio);
+      const double hS = fS / (1.0 - fR);
+      return {RectD{0, 1, 0, fR}, RectD{1 - hS, 1, fR, 1}};
+    }
+    case CandidateShape::kTraditionalRectangle: {
+      const double w = fR + fS;
+      const double rb = fR / w;
+      return {RectD{0, rb, 1 - w, 1}, RectD{rb, 1, 1 - w, 1}};
+    }
+  }
+  infeasible(shape, ratio);
+}
+
+namespace {
+
+/// One axis of the band decomposition. For every maximal interval along the
+/// axis on which each processor's cross-section is constant, accumulates
+/// (interval length) × (sender's cross-section) into v[sender][receiver]
+/// for every *other* receiver present in the interval.
+void accumulateAxis(double rLo, double rHi, double rLen, double sLo,
+                    double sHi, double sLen,
+                    std::array<std::array<double, kNumProcs>, kNumProcs>& v) {
+  std::vector<double> cuts = {0.0, 1.0, rLo, rHi, sLo, sHi};
+  std::sort(cuts.begin(), cuts.end());
+  for (std::size_t b = 0; b + 1 < cuts.size(); ++b) {
+    const double lo = std::clamp(cuts[b], 0.0, 1.0);
+    const double hi = std::clamp(cuts[b + 1], 0.0, 1.0);
+    const double len = hi - lo;
+    if (len <= 0) continue;
+    const double mid = 0.5 * (lo + hi);
+    const bool hasR = mid >= rLo && mid < rHi && rLen > 0;
+    const bool hasS = mid >= sLo && mid < sHi && sLen > 0;
+    double cross[kNumProcs] = {};
+    cross[procSlot(Proc::R)] = hasR ? rLen : 0.0;
+    cross[procSlot(Proc::S)] = hasS ? sLen : 0.0;
+    cross[procSlot(Proc::P)] =
+        1.0 - cross[procSlot(Proc::R)] - cross[procSlot(Proc::S)];
+    for (Proc snd : kAllProcs) {
+      if (cross[procSlot(snd)] <= 1e-15) continue;
+      for (Proc rcv : kAllProcs) {
+        if (rcv == snd || cross[procSlot(rcv)] <= 1e-15) continue;
+        v[procSlot(snd)][procSlot(rcv)] += len * cross[procSlot(snd)];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::array<std::array<double, kNumProcs>, kNumProcs> geometryPairVolumes(
+    const ShapeGeometry& g) {
+  PUSHPART_CHECK_MSG(
+      g.r.isEmpty() || g.s.isEmpty() ||
+          !(g.r.y0 < g.s.y1 && g.s.y0 < g.r.y1 && g.r.x0 < g.s.x1 &&
+            g.s.x0 < g.r.x1),
+      "geometryPairVolumes expects disjoint R and S rectangles");
+  std::array<std::array<double, kNumProcs>, kNumProcs> v{};
+  // Rows: cross-sections are widths; presence keyed by the y interval.
+  accumulateAxis(g.r.y0, g.r.y1, g.r.width(), g.s.y0, g.s.y1, g.s.width(), v);
+  // Columns: cross-sections are heights; presence keyed by the x interval.
+  accumulateAxis(g.r.x0, g.r.x1, g.r.height(), g.s.x0, g.s.x1, g.s.height(),
+                 v);
+  return v;
+}
+
+double geometryOverlapFraction(const ShapeGeometry& g) {
+  auto freeMeasure = [](double lo1, double hi1, double lo2, double hi2) {
+    // Measure of [0,1] minus the union of the two intervals.
+    const double a0 = std::clamp(lo1, 0.0, 1.0), a1 = std::clamp(hi1, 0.0, 1.0);
+    const double b0 = std::clamp(lo2, 0.0, 1.0), b1 = std::clamp(hi2, 0.0, 1.0);
+    const double lenA = std::max(0.0, a1 - a0);
+    const double lenB = std::max(0.0, b1 - b0);
+    const double overlap =
+        std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
+    return 1.0 - (lenA + lenB - overlap);
+  };
+  const double freeRows = freeMeasure(g.r.y0, g.r.y1, g.s.y0, g.s.y1);
+  const double freeCols = freeMeasure(g.r.x0, g.r.x1, g.s.x0, g.s.x1);
+  return freeRows * freeCols;
+}
+
+ModelResult evalCandidateClosedForm(Algo algo, CandidateShape shape, int n,
+                                    const Machine& machine, Topology topology,
+                                    StarConfig star) {
+  if (algo == Algo::kPIO)
+    throw std::invalid_argument(
+        "evalCandidateClosedForm: PIO needs per-pivot owner counts; use "
+        "evalModel or evalPioBlocked on a grid");
+  PUSHPART_CHECK(n > 0);
+  PUSHPART_CHECK_MSG(machine.ratio.valid(),
+                     "invalid machine ratio " << machine.ratio.str());
+  const Ratio& ratio = machine.ratio;
+  const ShapeGeometry g = candidateGeometry(shape, ratio);
+  const auto frac = geometryPairVolumes(g);
+  const double n2 = static_cast<double>(n) * n;
+  const double tsend = machine.sendElementSeconds;
+
+  // Topology routing (mirrors models.cpp).
+  double serialTotal = 0;
+  std::array<double, kNumProcs> perProc{};
+  const auto hub = procSlot(star.hub);
+  for (Proc s : kAllProcs)
+    for (Proc r : kAllProcs) {
+      const double vol = frac[procSlot(s)][procSlot(r)] * n2;
+      if (vol <= 0) continue;
+      serialTotal += vol;
+      perProc[procSlot(s)] += vol;
+      if (topology == Topology::kStar && procSlot(s) != hub &&
+          procSlot(r) != hub) {
+        serialTotal += vol;
+        perProc[hub] += vol;
+      }
+    }
+  const double serialComm = serialTotal * tsend;
+  double parallelComm = 0;
+  for (double d : perProc) parallelComm = std::max(parallelComm, d * tsend);
+
+  // Computation loads from areas.
+  const double n3 = n2 * static_cast<double>(n);
+  double maxFull = 0;
+  for (Proc x : kAllProcs)
+    maxFull = std::max(maxFull, ratio.fraction(x) * n3 *
+                                    machine.baseFlopSeconds / ratio.speed(x));
+  const double overlapP = geometryOverlapFraction(g) * n3 *
+                          machine.baseFlopSeconds / ratio.speed(Proc::P);
+  // Remainders: R and S have zero overlap, so their full load stays; P's
+  // shrinks by the overlap share.
+  double maxRemainder = 0;
+  for (Proc x : kAllProcs) {
+    double load = ratio.fraction(x) * n3 * machine.baseFlopSeconds /
+                  ratio.speed(x);
+    if (x == Proc::P) load -= overlapP;
+    maxRemainder = std::max(maxRemainder, load);
+  }
+
+  ModelResult result;
+  switch (algo) {
+    case Algo::kSCB:
+      result.commSeconds = serialComm;
+      result.compSeconds = maxFull;
+      result.execSeconds = serialComm + maxFull;
+      break;
+    case Algo::kPCB:
+      result.commSeconds = parallelComm;
+      result.compSeconds = maxFull;
+      result.execSeconds = parallelComm + maxFull;
+      break;
+    case Algo::kSCO:
+      result.commSeconds = serialComm;
+      result.overlapSeconds = overlapP;
+      result.compSeconds = maxRemainder;
+      result.execSeconds = std::max(serialComm, overlapP) + maxRemainder;
+      break;
+    case Algo::kPCO:
+      result.commSeconds = parallelComm;
+      result.overlapSeconds = overlapP;
+      result.compSeconds = maxRemainder;
+      result.execSeconds = std::max(parallelComm, overlapP) + maxRemainder;
+      break;
+    case Algo::kPIO:
+      break;  // unreachable (thrown above)
+  }
+  return result;
+}
+
+}  // namespace pushpart

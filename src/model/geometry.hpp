@@ -1,0 +1,75 @@
+// Continuous geometry of the canonical candidate shapes, and exact
+// closed-form communication volumes derived from it (paper §X methodology,
+// completed).
+//
+// Every candidate places R and S as axis-aligned rectangles in the unit
+// square (P takes the remainder). Given those two rectangles, *all*
+// communication quantities of the kij model have closed forms obtained by
+// band decomposition: cut the unit square into horizontal bands at every
+// rectangle edge; within a band each processor's per-row cell length and
+// presence are constant, so the directed volume sender→receiver integrates
+// to (band height) × (sender's length) × [receiver present]. Columns are
+// symmetric. This yields, without building any grid:
+//
+//   * the full 3×3 directed pair-volume matrix (fractions of N²),
+//   * VoC (cross-checked against model/closed_form.hpp's per-shape formulas),
+//   * per-processor send volumes d_X (PCB/SCO/PCO terms),
+//   * P's bulk-overlap share (rows and columns untouched by R and S).
+//
+// evalCandidateClosedForm() turns these into the Eq. 2–8 model predictions
+// for any N — useful for paper-scale sweeps (N = 10⁵ and beyond) where grid
+// construction would cost O(N²).
+#pragma once
+
+#include <array>
+
+#include "grid/proc.hpp"
+#include "grid/ratio.hpp"
+#include "model/algo.hpp"
+#include "model/machine.hpp"
+#include "model/models.hpp"
+#include "model/topology.hpp"
+#include "shapes/candidates.hpp"
+
+namespace pushpart {
+
+/// Axis-aligned rectangle in the unit square, [y0, y1) × [x0, x1).
+struct RectD {
+  double y0 = 0, y1 = 0, x0 = 0, x1 = 0;
+
+  double height() const { return y1 - y0; }
+  double width() const { return x1 - x0; }
+  double area() const { return height() * width(); }
+  bool isEmpty() const { return y1 <= y0 || x1 <= x0; }
+};
+
+/// Canonical continuous placement of R and S for a candidate shape.
+struct ShapeGeometry {
+  RectD r;
+  RectD s;
+};
+
+/// The canonical placement (§IX-B) in normalized coordinates. Throws
+/// std::invalid_argument when the shape is infeasible for the ratio in the
+/// continuous setting (Square-Corner below the Thm 9.1 boundary, etc.).
+ShapeGeometry candidateGeometry(CandidateShape shape, const Ratio& ratio);
+
+/// Exact directed pair volumes as fractions of N², indexed [from][to] by
+/// procIndex(); diagonal zero. Sums to the closed-form VoC.
+std::array<std::array<double, kNumProcs>, kNumProcs> geometryPairVolumes(
+    const ShapeGeometry& g);
+
+/// Fraction of C elements processor P can compute with zero communication
+/// (rows and columns untouched by both rectangles) — the bulk-overlap share.
+/// R and S never have one (their pivot lines are always shared).
+double geometryOverlapFraction(const ShapeGeometry& g);
+
+/// Eq. 2–8 model prediction for a candidate at matrix size n, from geometry
+/// alone — no grid is built, so this is O(1) in n. PIO is excluded (its
+/// per-pivot structure needs line-by-line owner counts; use evalModel or
+/// evalPioBlocked on a grid).
+ModelResult evalCandidateClosedForm(
+    Algo algo, CandidateShape shape, int n, const Machine& machine,
+    Topology topology = Topology::kFullyConnected, StarConfig star = {});
+
+}  // namespace pushpart

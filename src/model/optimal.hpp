@@ -1,0 +1,35 @@
+// Optimal-shape selection across the six candidates (paper §X methodology).
+//
+// For a given ratio, algorithm, topology and machine, rank every feasible
+// canonical candidate by its modeled execution time. This is the analysis
+// the paper defers to future work; the library provides it as the natural
+// downstream API ("which partition should I use on this machine?").
+#pragma once
+
+#include <vector>
+
+#include "model/models.hpp"
+#include "shapes/candidates.hpp"
+
+namespace pushpart {
+
+struct RankedCandidate {
+  CandidateShape shape;
+  ModelResult model;
+  std::int64_t voc = 0;  ///< Grid-measured Volume of Communication.
+};
+
+/// All feasible candidates at integer granularity n, ranked by modeled
+/// execution time (ascending — best first). machine.ratio supplies the
+/// processor speeds and must match the shapes being compared.
+std::vector<RankedCandidate> rankCandidates(
+    Algo algo, int n, const Machine& machine,
+    Topology topology = Topology::kFullyConnected, StarConfig star = {});
+
+/// Convenience: the winner of rankCandidates. Throws std::runtime_error when
+/// no candidate is feasible (degenerate n).
+RankedCandidate selectOptimal(Algo algo, int n, const Machine& machine,
+                              Topology topology = Topology::kFullyConnected,
+                              StarConfig star = {});
+
+}  // namespace pushpart

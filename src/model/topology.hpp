@@ -1,0 +1,31 @@
+// Network topologies considered in the paper (§X).
+//
+// Fully-connected: every processor exchanges data directly (Eqs. 2–9 apply
+// as written). Star: one designated hub relays traffic between the other two
+// processors, so spoke↔spoke volumes cross two links (store-and-forward).
+#pragma once
+
+#include "grid/proc.hpp"
+
+namespace pushpart {
+
+enum class Topology {
+  kFullyConnected = 0,
+  kStar = 1,  ///< Hub processor relays all spoke-to-spoke traffic.
+};
+
+constexpr const char* topologyName(Topology t) {
+  switch (t) {
+    case Topology::kFullyConnected: return "fully-connected";
+    case Topology::kStar: return "star";
+  }
+  return "?";
+}
+
+/// Star-topology configuration: which processor is the hub. The natural
+/// choice is the fastest processor P (it usually holds the most data).
+struct StarConfig {
+  Proc hub = Proc::P;
+};
+
+}  // namespace pushpart

@@ -1,0 +1,370 @@
+#include "nproc/npush.hpp"
+
+#include <limits>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pushpart {
+
+namespace {
+
+/// Direction-canonicalising coordinate adapter (the k-ary analogue of
+/// push/oriented.hpp): logical (r, c) with Down canonical.
+class NOriented {
+ public:
+  NOriented(NPartition& q, Direction dir) : q_(q), dir_(dir) {}
+
+  int n() const { return q_.n(); }
+
+  NProcId at(int r, int c) const {
+    const auto [i, j] = phys(r, c);
+    return q_.at(i, j);
+  }
+
+  void setLogged(int r, int c, NProcId p,
+                 std::vector<std::pair<std::pair<int, int>, NProcId>>& log) {
+    const auto [i, j] = phys(r, c);
+    const NProcId prev = q_.at(i, j);
+    if (prev == p) return;
+    log.push_back({{i, j}, prev});
+    q_.set(i, j, p);
+  }
+
+  bool rowHas(NProcId p, int r) const {
+    switch (dir_) {
+      case Direction::Down: return q_.rowHas(p, r);
+      case Direction::Up: return q_.rowHas(p, n() - 1 - r);
+      case Direction::Right: return q_.colHas(p, r);
+      case Direction::Left: return q_.colHas(p, n() - 1 - r);
+    }
+    return false;
+  }
+
+  bool colHas(NProcId p, int c) const {
+    switch (dir_) {
+      case Direction::Down:
+      case Direction::Up: return q_.colHas(p, c);
+      case Direction::Right:
+      case Direction::Left: return q_.rowHas(p, c);
+    }
+    return false;
+  }
+
+  Rect rect(NProcId p) const {
+    const Rect r = q_.enclosingRect(p);
+    if (r.isEmpty()) return Rect::empty();
+    switch (dir_) {
+      case Direction::Down:
+        return r;
+      case Direction::Up:
+        return Rect{n() - r.rowEnd, n() - r.rowBegin, r.colBegin, r.colEnd};
+      case Direction::Right:
+        return Rect{r.colBegin, r.colEnd, r.rowBegin, r.rowEnd};
+      case Direction::Left:
+        return Rect{n() - r.colEnd, n() - r.colBegin, r.rowBegin, r.rowEnd};
+    }
+    return r;
+  }
+
+  std::pair<int, int> physPair(int r, int c) const {
+    const auto [i, j] = phys(r, c);
+    return {i, j};
+  }
+
+ private:
+  struct P {
+    int i;
+    int j;
+  };
+  P phys(int r, int c) const {
+    switch (dir_) {
+      case Direction::Down: return {r, c};
+      case Direction::Up: return {n() - 1 - r, c};
+      case Direction::Right: return {c, r};
+      case Direction::Left: return {c, n() - 1 - r};
+    }
+    return {r, c};
+  }
+
+  NPartition& q_;
+  Direction dir_;
+};
+
+enum class Req { kAnd, kOr, kNone };
+
+struct TypeRule {
+  Req activeDest;
+  Req ownerPresence;
+  bool strictImprovement;
+};
+
+constexpr TypeRule ruleFor(PushType t) {
+  switch (t) {
+    case PushType::kType1: return {Req::kAnd, Req::kAnd, true};
+    case PushType::kType2: return {Req::kAnd, Req::kOr, true};
+    case PushType::kType3: return {Req::kOr, Req::kAnd, true};
+    case PushType::kType4: return {Req::kOr, Req::kNone, true};
+    case PushType::kType5: return {Req::kNone, Req::kAnd, false};
+    case PushType::kType6: return {Req::kNone, Req::kNone, false};
+  }
+  return {Req::kAnd, Req::kAnd, true};
+}
+
+bool meets(Req req, bool inRow, bool inCol) {
+  switch (req) {
+    case Req::kAnd: return inRow && inCol;
+    case Req::kOr: return inRow || inCol;
+    case Req::kNone: return true;
+  }
+  return false;
+}
+
+using UndoLog = std::vector<std::pair<std::pair<int, int>, NProcId>>;
+
+void rollbackN(NPartition& q, const UndoLog& log) {
+  for (auto it = log.rbegin(); it != log.rend(); ++it)
+    q.set(it->first.first, it->first.second, it->second);
+}
+
+}  // namespace
+
+NPushOutcome tryPushN(NPartition& q, NProcId active, Direction dir,
+                      const PushOptions& options) {
+  PUSHPART_CHECK_MSG(active != 0,
+                     "the fastest processor (index 0) is never pushed");
+  PUSHPART_CHECK(active > 0 && active < q.procs());
+
+  NPushOutcome out;
+  out.direction = dir;
+  out.active = active;
+  out.vocBefore = q.volumeOfCommunication();
+  out.vocAfter = out.vocBefore;
+
+  NOriented view(q, dir);
+  const int k = q.procs();
+
+  std::vector<Rect> rectBefore(static_cast<std::size_t>(k));
+  std::vector<std::int64_t> countBefore(static_cast<std::size_t>(k));
+  for (NProcId p = 0; p < k; ++p) {
+    rectBefore[static_cast<std::size_t>(p)] = view.rect(p);
+    countBefore[static_cast<std::size_t>(p)] = q.count(p);
+  }
+
+  for (PushType type :
+       {PushType::kType1, PushType::kType2, PushType::kType3, PushType::kType4,
+        PushType::kType5, PushType::kType6}) {
+    const TypeRule rule = ruleFor(type);
+    if (!options.allowEqualVoC && !rule.strictImprovement) break;
+
+    const Rect r = view.rect(active);
+    if (r.isEmpty() || r.height() < 2) break;  // no interior to move into
+    const int kRow = r.rowBegin;
+
+    std::vector<int> sources;
+    for (int c = r.colBegin; c < r.colEnd; ++c)
+      if (view.at(kRow, c) == active) sources.push_back(c);
+    if (sources.empty()) break;
+
+    UndoLog log;
+    // Far-edge-first monotone cursor (see push/push.cpp for why).
+    int g = r.rowEnd - 1;
+    int h = r.colBegin;
+    bool failed = false;
+    for (int c : sources) {
+      bool found = false;
+      while (g > kRow && !found) {
+        while (h < r.colEnd) {
+          const NProcId owner = view.at(g, h);
+          if (owner != active &&
+              meets(rule.activeDest, view.rowHas(active, g),
+                    view.colHas(active, h)) &&
+              meets(rule.ownerPresence, view.rowHas(owner, kRow),
+                    view.colHas(owner, c)) &&
+              // Third-party owners must keep the vacated edge cell inside
+              // their pre-push rectangle; the fastest processor (0) is
+              // unconstrained, as P is in the 3-processor engine in effect
+              // (its rectangle is almost always the whole matrix).
+              (owner == 0 ||
+               rectBefore[static_cast<std::size_t>(owner)].contains(kRow,
+                                                                    c))) {
+            view.setLogged(kRow, c, owner, log);
+            view.setLogged(g, h, active, log);
+            found = true;
+            ++h;
+            break;
+          }
+          ++h;
+        }
+        if (!found) {
+          h = r.colBegin;
+          --g;
+        }
+      }
+      if (!found) {
+        failed = true;
+        break;
+      }
+    }
+    if (failed) {
+      rollbackN(q, log);
+      continue;
+    }
+
+    const std::int64_t vocAfter = q.volumeOfCommunication();
+    const bool vocOk = rule.strictImprovement ? (vocAfter < out.vocBefore)
+                                              : (vocAfter <= out.vocBefore);
+    if (!vocOk) {
+      rollbackN(q, log);
+      continue;
+    }
+    for (NProcId p = 1; p < k; ++p) {  // processor 0's box is unconstrained
+      PUSHPART_CHECK_MSG(
+          rectBefore[static_cast<std::size_t>(p)].contains(view.rect(p)),
+          "k-ary push enlarged the rectangle of processor " << p);
+    }
+    for (NProcId p = 0; p < k; ++p)
+      PUSHPART_CHECK(q.count(p) == countBefore[static_cast<std::size_t>(p)]);
+
+    out.applied = true;
+    out.type = type;
+    out.vocAfter = vocAfter;
+    out.elementsMoved = static_cast<int>(sources.size());
+    return out;
+  }
+
+  return out;
+}
+
+namespace {
+
+/// One attempted re-layout of x, filling in rank order; mirrors
+/// tryCompactLayout in push/beautify.cpp for the k-ary grid. Gains come only
+/// from processor 0, so compactions of different slow processors cannot
+/// displace each other (no livelock) and each is idempotent.
+template <typename RankFn>
+bool tryCompactLayoutN(NPartition& q, NProcId x, const Rect& rect,
+                       RankFn rank) {
+  const std::int64_t own = q.count(x);
+  auto targetIsX = [&](int i, int j) { return rank(i, j) < own; };
+
+  std::vector<std::pair<int, int>> gain, release;
+  for (int i = rect.rowBegin; i < rect.rowEnd; ++i)
+    for (int j = rect.colBegin; j < rect.colEnd; ++j) {
+      const NProcId owner = q.at(i, j);
+      const bool isX = owner == x;
+      if (targetIsX(i, j) && !isX) {
+        if (owner != 0) return false;
+        gain.push_back({i, j});
+      } else if (!targetIsX(i, j) && isX) {
+        release.push_back({i, j});
+      }
+    }
+  if (gain.empty()) return false;
+  PUSHPART_CHECK(gain.size() == release.size());
+
+  const std::int64_t vocBefore = q.volumeOfCommunication();
+  std::vector<Rect> rectBefore(static_cast<std::size_t>(q.procs()));
+  for (NProcId p = 1; p < q.procs(); ++p)
+    rectBefore[static_cast<std::size_t>(p)] = q.enclosingRect(p);
+
+  for (const auto& [i, j] : gain) q.set(i, j, x);
+  for (const auto& [i, j] : release) q.set(i, j, 0);
+
+  bool ok = q.volumeOfCommunication() <= vocBefore;
+  for (NProcId p = 1; p < q.procs(); ++p)
+    ok = ok &&
+         rectBefore[static_cast<std::size_t>(p)].contains(q.enclosingRect(p));
+  if (!ok) {
+    for (const auto& [i, j] : release) q.set(i, j, x);
+    for (const auto& [i, j] : gain) q.set(i, j, 0);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool compactRegionN(NPartition& q, NProcId x) {
+  PUSHPART_CHECK(x > 0 && x < q.procs());
+  const Rect rect = q.enclosingRect(x);
+  if (rect.isEmpty()) return false;
+  if (q.count(x) == rect.area()) return false;
+  if (q.isAsymptoticallyRectangular(x)) return false;
+
+  const auto W = static_cast<std::int64_t>(rect.width());
+  const auto H = static_cast<std::int64_t>(rect.height());
+  const int rb = rect.rowBegin, re = rect.rowEnd;
+  const int cb = rect.colBegin, ce = rect.colEnd;
+
+  const auto partialTop = [=](int i, int j) {
+    return static_cast<std::int64_t>(re - 1 - i) * W + (j - cb);
+  };
+  const auto partialBottom = [=](int i, int j) {
+    return static_cast<std::int64_t>(i - rb) * W + (j - cb);
+  };
+  const auto partialRight = [=](int i, int j) {
+    return static_cast<std::int64_t>(j - cb) * H + (i - rb);
+  };
+  const auto partialLeft = [=](int i, int j) {
+    return static_cast<std::int64_t>(ce - 1 - j) * H + (i - rb);
+  };
+  if (tryCompactLayoutN(q, x, rect, partialTop) ||
+      tryCompactLayoutN(q, x, rect, partialBottom) ||
+      tryCompactLayoutN(q, x, rect, partialRight) ||
+      tryCompactLayoutN(q, x, rect, partialLeft))
+    return true;
+
+  // Fragmented regions: a rowsUsed × colsUsed corner box has the same line
+  // footprint (see push/beautify.cpp).
+  const auto rowsUsed = static_cast<std::int64_t>(q.rowsUsed(x));
+  const auto colsUsed = static_cast<std::int64_t>(q.colsUsed(x));
+  if (rowsUsed >= H && colsUsed >= W) return false;
+  const int bh = static_cast<int>(rowsUsed);
+  const int bw = static_cast<int>(colsUsed);
+  const Rect corners[4] = {
+      Rect{re - bh, re, cb, cb + bw},
+      Rect{re - bh, re, ce - bw, ce},
+      Rect{rb, rb + bh, cb, cb + bw},
+      Rect{rb, rb + bh, ce - bw, ce},
+  };
+  const auto boxRank = [](const Rect& box, bool fromBottom) {
+    return [box, fromBottom](int i, int j) -> std::int64_t {
+      if (!box.contains(i, j))
+        return std::numeric_limits<std::int64_t>::max();
+      const std::int64_t row =
+          fromBottom ? (box.rowEnd - 1 - i) : (i - box.rowBegin);
+      return row * box.width() + (j - box.colBegin);
+    };
+  };
+  for (const Rect& box : corners)
+    for (bool fromBottom : {true, false})
+      if (tryCompactLayoutN(q, x, rect, boxRank(box, fromBottom))) return true;
+  return false;
+}
+
+std::int64_t condenseN(NPartition& q, const PushOptions& options) {
+  std::int64_t applied = 0;
+  std::unordered_set<std::uint64_t> seen;  // cycle guard (see beautify)
+  bool any = true;
+  while (any) {
+    any = false;
+    for (NProcId p = 1; p < q.procs(); ++p) {
+      for (Direction d : kAllDirections) {
+        while (tryPushN(q, p, d, options).applied) {
+          ++applied;
+          any = true;
+        }
+      }
+    }
+    for (NProcId p = 1; p < q.procs(); ++p) {
+      if (compactRegionN(q, p)) any = true;
+    }
+    if (any && !seen.insert(q.hash()).second) break;
+  }
+  return applied;
+}
+
+}  // namespace pushpart

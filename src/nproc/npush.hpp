@@ -1,0 +1,56 @@
+// The Push operation generalized to k processors.
+//
+// Identical structure to the three-processor engine (push/push.hpp): clean
+// the active processor's leading edge line, relocate inward under the
+// six-type legality ladder, commit transactionally only when the Volume of
+// Communication does not increase, no processor's enclosing rectangle grows
+// and element counts are conserved. Differences from the k = 3 engine:
+//
+//   * the active processor is any index except 0 (the fastest);
+//   * displaced-owner predicates apply to whichever of the k−1 other
+//     processors owns the destination cell;
+//   * owners other than processor 0 must keep the vacated edge cell inside
+//     their pre-push enclosing rectangle (the same conservative containment
+//     rule as the k = 3 engine, now for k−2 "third parties").
+#pragma once
+
+#include <cstdint>
+
+#include "nproc/npartition.hpp"
+#include "push/direction.hpp"
+#include "push/push.hpp"  // PushType, PushOptions
+
+namespace pushpart {
+
+struct NPushOutcome {
+  bool applied = false;
+  PushType type = PushType::kType1;
+  Direction direction = Direction::Down;
+  NProcId active = 1;
+  std::int64_t vocBefore = 0;
+  std::int64_t vocAfter = 0;
+  int elementsMoved = 0;
+
+  bool improvedVoC() const { return applied && vocAfter < vocBefore; }
+};
+
+/// Attempts one Push of `active`'s edge in `dir`. `active` must not be the
+/// fastest processor (index 0).
+NPushOutcome tryPushN(NPartition& q, NProcId active, Direction dir,
+                      const PushOptions& options = {});
+
+/// K-ary region compaction (the normalisation half of beautify, see
+/// push/beautify.hpp): re-lays processor x's cells as a solid edge-aligned
+/// block inside its enclosing rectangle (or a rowsUsed × colsUsed corner box
+/// when the region is fragmented), swapping only with processor-0 cells.
+/// Commits only when VoC does not increase and no slow processor's
+/// rectangle grows. Returns whether the partition changed.
+bool compactRegionN(NPartition& q, NProcId x);
+
+/// Applies pushes for every non-fastest processor in every direction,
+/// interleaved with compaction, until neither applies (the k-ary beautify).
+/// Returns pushes applied. Terminates by the same rect-area potential
+/// argument as beautify() plus compaction idempotence.
+std::int64_t condenseN(NPartition& q, const PushOptions& options = {});
+
+}  // namespace pushpart

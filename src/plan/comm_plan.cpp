@@ -1,0 +1,84 @@
+#include "plan/comm_plan.hpp"
+
+#include <set>
+#include <tuple>
+
+namespace pushpart {
+
+std::vector<PivotTransfers> buildElementPlan(const Partition& q) {
+  const int n = q.n();
+  std::vector<PivotTransfers> plan;
+  plan.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    PivotTransfers step;
+    step.pivot = k;
+    // A(i, k): needed by every processor computing C cells in row i.
+    for (int i = 0; i < n; ++i) {
+      const Proc owner = q.at(i, k);
+      for (Proc r : kAllProcs) {
+        if (r == owner || !q.rowHas(r, i)) continue;
+        step.aColumn.push_back({i, k, owner, r});
+      }
+    }
+    // B(k, j): needed by every processor computing C cells in column j.
+    for (int j = 0; j < n; ++j) {
+      const Proc owner = q.at(k, j);
+      for (Proc r : kAllProcs) {
+        if (r == owner || !q.colHas(r, j)) continue;
+        step.bRow.push_back({k, j, owner, r});
+      }
+    }
+    plan.push_back(std::move(step));
+  }
+  return plan;
+}
+
+std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> planVolumes(
+    const std::vector<PivotTransfers>& plan) {
+  std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> v{};
+  for (const PivotTransfers& step : plan) {
+    for (const ElementTransfer& t : step.aColumn)
+      ++v[procSlot(t.from)][procSlot(t.to)];
+    for (const ElementTransfer& t : step.bRow)
+      ++v[procSlot(t.from)][procSlot(t.to)];
+  }
+  return v;
+}
+
+bool verifyElementPlan(const Partition& q,
+                       const std::vector<PivotTransfers>& plan) {
+  const int n = q.n();
+  if (static_cast<int>(plan.size()) != n) return false;
+
+  // (1) Validity: coordinates match the pivot, senders own what they send,
+  // receivers genuinely need it, nobody is sent their own data.
+  // (2) Uniqueness: no duplicate deliveries.
+  // Kind 0 = A-column transfer, kind 1 = B-row transfer.
+  std::set<std::tuple<int, int, int, int>> seen;  // (kind, pivot, line, to)
+  for (int k = 0; k < n; ++k) {
+    const PivotTransfers& step = plan[static_cast<std::size_t>(k)];
+    if (step.pivot != k) return false;
+    for (const ElementTransfer& t : step.aColumn) {
+      if (t.j != k) return false;
+      if (q.at(t.i, t.j) != t.from) return false;
+      if (t.to == t.from) return false;
+      if (!q.rowHas(t.to, t.i)) return false;  // nobody needs it there
+      if (!seen.insert({0, k, t.i, procIndex(t.to)}).second) return false;
+    }
+    for (const ElementTransfer& t : step.bRow) {
+      if (t.i != k) return false;
+      if (q.at(t.i, t.j) != t.from) return false;
+      if (t.to == t.from) return false;
+      if (!q.colHas(t.to, t.j)) return false;
+      if (!seen.insert({1, k, t.j, procIndex(t.to)}).second) return false;
+    }
+  }
+
+  // (3) Completeness: valid + unique transfers are a subset of the needed
+  // set, so matching the directed pair volumes exactly implies equality.
+  const auto got = planVolumes(plan);
+  const auto want = pairVolumes(q);
+  return got == want;
+}
+
+}  // namespace pushpart

@@ -1,0 +1,26 @@
+// Push directions (paper §II / §IV-A: Up, Down, Left, Right).
+#pragma once
+
+#include <array>
+
+namespace pushpart {
+
+/// Direction in which the active processor's elements are moved. A Push Down
+/// cleans the *top* edge of the active processor's enclosing rectangle and
+/// relocates those elements into rows below, and so on symmetrically.
+enum class Direction { Down = 0, Up = 1, Left = 2, Right = 3 };
+
+inline constexpr std::array<Direction, 4> kAllDirections = {
+    Direction::Down, Direction::Up, Direction::Left, Direction::Right};
+
+constexpr const char* directionName(Direction d) {
+  switch (d) {
+    case Direction::Down: return "Down";
+    case Direction::Up: return "Up";
+    case Direction::Left: return "Left";
+    case Direction::Right: return "Right";
+  }
+  return "?";
+}
+
+}  // namespace pushpart

@@ -1,0 +1,119 @@
+// Direction-canonicalising view over a Partition.
+//
+// The Push algorithm is written once for the canonical Down direction:
+// "clean the lowest-index logical row of the active processor's enclosing
+// rectangle, relocating elements into higher-index logical rows". This view
+// maps logical (row, col) coordinates onto the physical grid so that the same
+// code performs Up, Left and Right pushes:
+//
+//   Down : (r, c) -> (r, c)            logical rows are physical rows
+//   Up   : (r, c) -> (n-1-r, c)        rows flipped
+//   Right: (r, c) -> (c, r)            logical rows are physical columns
+//   Left : (r, c) -> (c, n-1-r)        columns flipped and transposed
+//
+// Mutations are funnelled through set(), which appends to an undo log so a
+// failed push attempt can be rolled back exactly.
+#pragma once
+
+#include <vector>
+
+#include "grid/partition.hpp"
+#include "push/direction.hpp"
+
+namespace pushpart {
+
+/// One grid mutation, recorded for rollback (physical coordinates).
+struct CellUndo {
+  int i;
+  int j;
+  Proc previous;
+};
+
+class OrientedGrid {
+ public:
+  OrientedGrid(Partition& q, Direction dir) : q_(q), dir_(dir) {}
+
+  int n() const { return q_.n(); }
+
+  Proc at(int r, int c) const {
+    const auto [i, j] = toPhysical(r, c);
+    return q_.at(i, j);
+  }
+
+  /// Reassigns a cell and records the previous owner in `undo`.
+  void set(int r, int c, Proc p, std::vector<CellUndo>& undo) {
+    const auto [i, j] = toPhysical(r, c);
+    const Proc prev = q_.at(i, j);
+    if (prev == p) return;
+    undo.push_back({i, j, prev});
+    q_.set(i, j, p);
+  }
+
+  /// Does logical row r contain any element of p?
+  bool rowHas(Proc p, int r) const {
+    switch (dir_) {
+      case Direction::Down: return q_.rowHas(p, r);
+      case Direction::Up: return q_.rowHas(p, n() - 1 - r);
+      case Direction::Right: return q_.colHas(p, r);
+      case Direction::Left: return q_.colHas(p, n() - 1 - r);
+    }
+    return false;
+  }
+
+  /// Does logical column c contain any element of p?
+  bool colHas(Proc p, int c) const {
+    switch (dir_) {
+      case Direction::Down:
+      case Direction::Up: return q_.colHas(p, c);
+      case Direction::Right:
+      case Direction::Left: return q_.rowHas(p, c);
+    }
+    return false;
+  }
+
+  /// p's enclosing rectangle in logical coordinates.
+  Rect rect(Proc p) const {
+    const Rect r = q_.enclosingRect(p);
+    if (r.isEmpty()) return Rect::empty();
+    switch (dir_) {
+      case Direction::Down:
+        return r;
+      case Direction::Up:
+        return Rect{n() - r.rowEnd, n() - r.rowBegin, r.colBegin, r.colEnd};
+      case Direction::Right:
+        return Rect{r.colBegin, r.colEnd, r.rowBegin, r.rowEnd};
+      case Direction::Left:
+        return Rect{n() - r.colEnd, n() - r.colBegin, r.rowBegin, r.rowEnd};
+    }
+    return r;
+  }
+
+  Direction direction() const { return dir_; }
+  const Partition& partition() const { return q_; }
+
+ private:
+  struct Phys {
+    int i;
+    int j;
+  };
+  Phys toPhysical(int r, int c) const {
+    switch (dir_) {
+      case Direction::Down: return {r, c};
+      case Direction::Up: return {n() - 1 - r, c};
+      case Direction::Right: return {c, r};
+      case Direction::Left: return {c, n() - 1 - r};
+    }
+    return {r, c};
+  }
+
+  Partition& q_;
+  Direction dir_;
+};
+
+/// Reverts mutations recorded by OrientedGrid::set, newest first.
+inline void rollback(Partition& q, const std::vector<CellUndo>& undo) {
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it)
+    q.set(it->i, it->j, it->previous);
+}
+
+}  // namespace pushpart

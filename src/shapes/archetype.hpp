@@ -1,0 +1,62 @@
+// Archetype classification of condensed partitions (paper §VII-C..G, Fig. 5).
+//
+// Every accept state the paper's program produced fell into one of four
+// archetypes, described by the overlap relation of R's and S's enclosing
+// rectangles and their corner counts:
+//
+//   A — No overlap, minimum corners: R and S are disjoint rectangles.
+//   B — Overlap, "L" shape: rectangles partially overlap; one processor is a
+//       rectangle (4 corners), the other an L (6 corners) wrapped around it.
+//   C — Overlap, interlock: rectangles partially overlap, neither processor
+//       rectangular (≥6 corners each); jointly they form a rectangle.
+//   D — Overlap, surround: one enclosing rectangle contains the other;
+//       the inner processor is a rectangle (4), the outer wraps it (8).
+//
+// Anything else is Unknown — a would-be counterexample to the paper's
+// Postulate 1. Rectangularity uses the *asymptotic* notion (Fig. 3) so that
+// integer-granularity shapes with one ragged edge row/column classify the
+// same way the paper's idealized figures do.
+#pragma once
+
+#include <string>
+
+#include "grid/partition.hpp"
+
+namespace pushpart {
+
+enum class Archetype { A = 0, B = 1, C = 2, D = 3, Unknown = 4 };
+
+inline constexpr int kNumArchetypes = 5;
+
+constexpr const char* archetypeName(Archetype a) {
+  switch (a) {
+    case Archetype::A: return "A";
+    case Archetype::B: return "B";
+    case Archetype::C: return "C";
+    case Archetype::D: return "D";
+    case Archetype::Unknown: return "Unknown";
+  }
+  return "?";
+}
+
+/// Everything the classifier measured, for diagnostics and stats.
+struct ArchetypeInfo {
+  Archetype archetype = Archetype::Unknown;
+  bool rectsOverlap = false;       ///< R and S enclosing rectangles overlap.
+  bool surround = false;           ///< One rectangle contains the other.
+  bool rRectangular = false;       ///< R asymptotically rectangular.
+  bool sRectangular = false;
+  int rCorners = 0;
+  int sCorners = 0;
+  int rComponents = 0;
+  int sComponents = 0;
+
+  std::string str() const;
+};
+
+/// Classifies a (typically condensed) partition into the paper's archetypes.
+/// Partitions where R or S owns no cells classify as Unknown (the paper's
+/// setting always has three non-empty processors).
+ArchetypeInfo classifyArchetype(const Partition& q);
+
+}  // namespace pushpart

@@ -1,0 +1,74 @@
+#include "shapes/corners.hpp"
+
+#include <vector>
+
+namespace pushpart {
+
+int cornerCount(const Partition& q, Proc x) {
+  const int n = q.n();
+  auto inRegion = [&](int i, int j) {
+    return i >= 0 && i < n && j >= 0 && j < n && q.at(i, j) == x;
+  };
+  int corners = 0;
+  // Only vertices adjacent to the enclosing rectangle can be corners;
+  // restricting the sweep keeps this O(rect area), not O(N²).
+  const Rect r = q.enclosingRect(x);
+  if (r.isEmpty()) return 0;
+  for (int i = r.rowBegin; i <= r.rowEnd; ++i) {
+    for (int j = r.colBegin; j <= r.colEnd; ++j) {
+      const bool a = inRegion(i - 1, j - 1);
+      const bool b = inRegion(i - 1, j);
+      const bool c = inRegion(i, j - 1);
+      const bool d = inRegion(i, j);
+      const int members = int{a} + int{b} + int{c} + int{d};
+      if (members == 1 || members == 3) {
+        ++corners;
+      } else if (members == 2 && (a == d)) {
+        // Two diagonal cells (a&d or b&c): the boundary crosses itself at
+        // this vertex — two corners meet.
+        corners += 2;
+      }
+    }
+  }
+  return corners;
+}
+
+int connectedComponents(const Partition& q, Proc x) {
+  const int n = q.n();
+  const Rect r = q.enclosingRect(x);
+  if (r.isEmpty()) return 0;
+  std::vector<char> seen(static_cast<std::size_t>(n) *
+                             static_cast<std::size_t>(n),
+                         0);
+  auto idx = [&](int i, int j) {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(j);
+  };
+  int components = 0;
+  std::vector<std::pair<int, int>> stack;
+  for (int i0 = r.rowBegin; i0 < r.rowEnd; ++i0) {
+    for (int j0 = r.colBegin; j0 < r.colEnd; ++j0) {
+      if (q.at(i0, j0) != x || seen[idx(i0, j0)]) continue;
+      ++components;
+      stack.push_back({i0, j0});
+      seen[idx(i0, j0)] = 1;
+      while (!stack.empty()) {
+        const auto [i, j] = stack.back();
+        stack.pop_back();
+        constexpr int di[4] = {1, -1, 0, 0};
+        constexpr int dj[4] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          const int ni = i + di[d];
+          const int nj = j + dj[d];
+          if (ni < 0 || ni >= n || nj < 0 || nj >= n) continue;
+          if (q.at(ni, nj) != x || seen[idx(ni, nj)]) continue;
+          seen[idx(ni, nj)] = 1;
+          stack.push_back({ni, nj});
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace pushpart

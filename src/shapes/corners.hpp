@@ -1,0 +1,30 @@
+// Corner taxonomy of a processor's region (paper §VIII-A).
+//
+// A corner is a lattice vertex where the region's boundary turns. The paper
+// classifies condensed shapes by corner counts: rectangles have 4, "L"
+// shapes 6, surrounding shapes 8. We count corners exactly by examining the
+// four cells around every lattice vertex: a vertex with an odd number of
+// region cells (1 or 3) is one corner; two diagonally-opposite region cells
+// contribute two corners (the boundary pinches); anything else is flat.
+//
+// Rectangularity comes in two flavours (paper Fig. 3): exact, and
+// *asymptotic* — at most one edge row/column of the enclosing rectangle may
+// be partially filled. Integer-granularity canonical shapes are generally
+// asymptotically rectangular rather than exact, which is why the classifier
+// uses the asymptotic notion.
+#pragma once
+
+#include "grid/metrics.hpp"  // isRectangle / isAsymptoticallyRectangular
+#include "grid/partition.hpp"
+
+namespace pushpart {
+
+/// Number of boundary corners of processor x's region (0 when x owns no
+/// cells). Disconnected regions report the sum over all components; a single
+/// rectangle reports 4.
+int cornerCount(const Partition& q, Proc x);
+
+/// Number of 4-connected components of x's region (0 when x owns no cells).
+int connectedComponents(const Partition& q, Proc x);
+
+}  // namespace pushpart

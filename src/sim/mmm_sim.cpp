@@ -1,0 +1,196 @@
+#include "sim/mmm_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "grid/metrics.hpp"
+#include "support/check.hpp"
+
+namespace pushpart {
+
+namespace {
+
+/// Splits the directed pair volumes into per-message chunks, sender-major.
+std::vector<SimMessage> bulkMessages(const Partition& q, int chunksPerPair) {
+  std::vector<SimMessage> out;
+  const auto v = pairVolumes(q);
+  for (Proc s : kAllProcs) {
+    for (Proc r : kAllProcs) {
+      if (s == r) continue;
+      const std::int64_t volume = v[procSlot(s)][procSlot(r)];
+      if (volume == 0) continue;
+      for (int c = 0; c < chunksPerPair; ++c) {
+        const std::int64_t lo = volume * c / chunksPerPair;
+        const std::int64_t hi = volume * (c + 1) / chunksPerPair;
+        if (hi > lo) out.push_back({s, r, hi - lo});
+      }
+    }
+  }
+  return out;
+}
+
+/// Directed volumes for one pivot step k: the pivot column of A and pivot
+/// row of B reach every other owner of the receiving row/column.
+std::vector<SimMessage> stepMessages(const Partition& q, int k) {
+  std::vector<SimMessage> out;
+  const int n = q.n();
+  for (Proc s : kAllProcs) {
+    for (Proc r : kAllProcs) {
+      if (s == r) continue;
+      std::int64_t volume = 0;
+      for (int i = 0; i < n; ++i)
+        if (q.at(i, k) == s && q.rowHas(r, i)) ++volume;  // A(i,k) pivots
+      for (int j = 0; j < n; ++j)
+        if (q.at(k, j) == s && q.colHas(r, j)) ++volume;  // B(k,j) pivots
+      if (volume > 0) out.push_back({s, r, volume});
+    }
+  }
+  return out;
+}
+
+struct CompLoads {
+  double full[kNumProcs];       // all owned elements, N MACs each
+  double overlap[kNumProcs];    // fully-local elements
+  double remainder[kNumProcs];  // full − overlap
+  double oneStep[kNumProcs];    // one MAC per owned element
+  double maxFull = 0, maxOverlap = 0, maxRemainder = 0, maxStep = 0;
+};
+
+CompLoads computeLoads(const Partition& q, const Machine& m) {
+  CompLoads loads{};
+  const int n = q.n();
+  for (Proc x : kAllProcs) {
+    const auto xi = procSlot(x);
+    const std::int64_t owned = q.count(x);
+    const std::int64_t local = overlapElements(q, x);
+    loads.full[xi] = m.computeSeconds(x, owned * n);
+    loads.overlap[xi] = m.computeSeconds(x, local * n);
+    loads.remainder[xi] = m.computeSeconds(x, (owned - local) * n);
+    loads.oneStep[xi] = m.computeSeconds(x, owned);
+    loads.maxFull = std::max(loads.maxFull, loads.full[xi]);
+    loads.maxOverlap = std::max(loads.maxOverlap, loads.overlap[xi]);
+    loads.maxRemainder = std::max(loads.maxRemainder, loads.remainder[xi]);
+    loads.maxStep = std::max(loads.maxStep, loads.oneStep[xi]);
+  }
+  return loads;
+}
+
+/// Delivers `messages` strictly one after another (serial wire); returns the
+/// final delivery instant.
+double runSerial(EventQueue& events, Network& net,
+                 const std::vector<SimMessage>& messages) {
+  double last = 0.0;
+  for (const SimMessage& msg : messages) {
+    double delivered = last;
+    net.send(msg, last, [&delivered](double t) { delivered = t; });
+    events.run();
+    last = delivered;
+  }
+  return last;
+}
+
+/// Issues all messages at t = 0 (NICs serialize per sender); returns the
+/// instant the last one lands.
+double runParallel(EventQueue& events, Network& net,
+                   const std::vector<SimMessage>& messages) {
+  double latest = 0.0;
+  for (const SimMessage& msg : messages)
+    net.send(msg, 0.0, [&latest](double t) { latest = std::max(latest, t); });
+  events.run();
+  return latest;
+}
+
+}  // namespace
+
+SimResult simulateMMM(Algo algo, const Partition& q,
+                      const SimOptions& options) {
+  PUSHPART_CHECK(options.chunksPerPair >= 1);
+  PUSHPART_CHECK_MSG(options.machine.ratio.valid(),
+                     "invalid ratio " << options.machine.ratio.str());
+
+  EventQueue events;
+  Network net(events, options.machine, options.topology, options.star);
+  const CompLoads loads = computeLoads(q, options.machine);
+
+  SimResult result;
+  switch (algo) {
+    case Algo::kSCB: {
+      const double commDone =
+          runSerial(events, net, bulkMessages(q, options.chunksPerPair));
+      result.commSeconds = commDone;
+      result.compSeconds = loads.maxFull;
+      result.execSeconds = commDone + loads.maxFull;
+      break;
+    }
+    case Algo::kPCB: {
+      const double commDone =
+          runParallel(events, net, bulkMessages(q, options.chunksPerPair));
+      result.commSeconds = commDone;
+      result.compSeconds = loads.maxFull;
+      result.execSeconds = commDone + loads.maxFull;
+      break;
+    }
+    case Algo::kSCO: {
+      const double commDone =
+          runSerial(events, net, bulkMessages(q, options.chunksPerPair));
+      result.commSeconds = commDone;
+      result.overlapSeconds = loads.maxOverlap;
+      result.compSeconds = loads.maxRemainder;
+      result.execSeconds =
+          std::max(commDone, loads.maxOverlap) + loads.maxRemainder;
+      break;
+    }
+    case Algo::kPCO: {
+      const double commDone =
+          runParallel(events, net, bulkMessages(q, options.chunksPerPair));
+      result.commSeconds = commDone;
+      result.overlapSeconds = loads.maxOverlap;
+      result.compSeconds = loads.maxRemainder;
+      result.execSeconds =
+          std::max(commDone, loads.maxOverlap) + loads.maxRemainder;
+      break;
+    }
+    case Algo::kPIO: {
+      // Block b's pivot data is exchanged while block b−1 is computed; block
+      // b begins once both finish (Eq. 9's serialization, grouped by
+      // options.pioBlockSize pivots — one message per (pair, block) so
+      // larger blocks amortize the per-message latency α).
+      PUSHPART_CHECK(options.pioBlockSize >= 1);
+      const int n = q.n();
+      double t = 0.0;
+      int prevBlockSteps = 0;
+      for (int k = 0; k < n; k += options.pioBlockSize) {
+        const int blockEnd = std::min(n, k + options.pioBlockSize);
+        // Merge the block's per-pivot volumes into one message per pair.
+        std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> vol{};
+        for (int p = k; p < blockEnd; ++p)
+          for (const SimMessage& msg : stepMessages(q, p))
+            vol[procSlot(msg.from)][procSlot(msg.to)] += msg.elements;
+        double delivered = t;
+        for (Proc s : kAllProcs)
+          for (Proc r : kAllProcs) {
+            if (s == r || vol[procSlot(s)][procSlot(r)] == 0) continue;
+            net.send({s, r, vol[procSlot(s)][procSlot(r)]}, t,
+                     [&delivered](double at) {
+                       delivered = std::max(delivered, at);
+                     });
+          }
+        events.run();
+        t = std::max(delivered, t + loads.maxStep * prevBlockSteps);
+        prevBlockSteps = blockEnd - k;
+      }
+      t += loads.maxStep * prevBlockSteps;  // drain: compute the final block
+      double nicBusy = 0.0;
+      for (double b : net.stats().nicBusySeconds) nicBusy += b;
+      result.commSeconds = nicBusy;
+      result.compSeconds = loads.maxStep * n;
+      result.execSeconds = t;
+      break;
+    }
+  }
+  result.network = net.stats();
+  return result;
+}
+
+}  // namespace pushpart

@@ -1,0 +1,48 @@
+// Message-level simulation of the five parallel MMM algorithms.
+//
+// This is the repo's stand-in for the paper's experimental testbed (three
+// Open-MPI/ATLAS nodes with a /proc-based CPU limiter): a discrete-event
+// simulation that executes each algorithm's communication schedule message
+// by message on the Hockney network of sim/network.hpp and charges
+// computation at the ratio-scaled speeds. Unlike the closed-form models
+// (model/models.hpp) it accounts for per-message latency α, per-transfer
+// chunking, NIC serialization and star store-and-forward — the effects a
+// real cluster adds on top of Eqs. 2–9. With α = 0 and one chunk per
+// transfer the simulation collapses to the analytic model (asserted in
+// tests/sim/mmm_sim_test.cpp).
+#pragma once
+
+#include "grid/partition.hpp"
+#include "model/algo.hpp"
+#include "model/machine.hpp"
+#include "model/topology.hpp"
+#include "sim/network.hpp"
+
+namespace pushpart {
+
+struct SimOptions {
+  Machine machine;
+  Topology topology = Topology::kFullyConnected;
+  StarConfig star{};
+  /// Messages per (sender → receiver) transfer in the bulk algorithms; more
+  /// chunks expose more α. Must be >= 1.
+  int chunksPerPair = 1;
+  /// Pivots exchanged per PIO step (paper §II: "k rows and columns at a
+  /// time"). 1 = classic PIO; n = one bulk exchange. Must be >= 1.
+  int pioBlockSize = 1;
+};
+
+struct SimResult {
+  double execSeconds = 0.0;
+  /// Instant all communication completed (barrier algorithms) or total
+  /// NIC-busy time (PIO).
+  double commSeconds = 0.0;
+  double overlapSeconds = 0.0;  ///< Bulk-overlap computation (SCO/PCO).
+  double compSeconds = 0.0;     ///< Post-communication computation.
+  NetworkStats network;
+};
+
+/// Simulates one full MMM of the partition's matrix under `algo`.
+SimResult simulateMMM(Algo algo, const Partition& q, const SimOptions& options);
+
+}  // namespace pushpart

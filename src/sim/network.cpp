@@ -1,0 +1,47 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace pushpart {
+
+double Network::bookHop(Proc sender, std::int64_t elements, double readyAt) {
+  const double start = std::max(readyAt, nicFreeAt_[procSlot(sender)]);
+  const double duration = machine_.transferSeconds(elements);
+  const double done = start + duration;
+  nicFreeAt_[procSlot(sender)] = done;
+  ++stats_.messagesSent;
+  stats_.elementsMoved += elements;
+  stats_.nicBusySeconds[procSlot(sender)] += duration;
+  return done;
+}
+
+void Network::send(const SimMessage& message, double readyAt,
+                   std::function<void(double)> onDelivered) {
+  PUSHPART_CHECK(message.from != message.to);
+  PUSHPART_CHECK(message.elements >= 0);
+  if (message.elements == 0) {
+    events_.schedule(std::max(readyAt, events_.now()),
+                     [cb = std::move(onDelivered), t = readyAt] { cb(t); });
+    return;
+  }
+
+  const bool needsRelay = topology_ == Topology::kStar &&
+                          message.from != star_.hub && message.to != star_.hub;
+  const double firstHopDone = bookHop(message.from, message.elements, readyAt);
+  if (!needsRelay) {
+    events_.schedule(firstHopDone,
+                     [cb = std::move(onDelivered), firstHopDone] {
+                       cb(firstHopDone);
+                     });
+    return;
+  }
+  // Store-and-forward: the hub's NIC can only be booked once the message has
+  // arrived, so the second hop is scheduled from an event at that instant.
+  events_.schedule(firstHopDone, [this, message, firstHopDone,
+                                  cb = std::move(onDelivered)]() mutable {
+    const double done = bookHop(star_.hub, message.elements, firstHopDone);
+    events_.schedule(done, [cb = std::move(cb), done] { cb(done); });
+  });
+}
+
+}  // namespace pushpart

@@ -1,0 +1,65 @@
+// Sender-bound Hockney network with topology routing.
+//
+// Each node's NIC serializes its outbound messages: a message of M elements
+// occupies the sender for α + β·M seconds and is delivered at completion
+// (receive side unconstrained — the standard sender-bound Hockney model the
+// paper's §II analysis assumes). Under a star topology, spoke↔spoke traffic
+// is stored and forwarded at the hub, whose NIC also serializes the
+// forwarding load; this is how the simulator exposes costs the closed-form
+// models only approximate.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "grid/proc.hpp"
+#include "model/machine.hpp"
+#include "model/topology.hpp"
+#include "sim/event.hpp"
+
+namespace pushpart {
+
+struct SimMessage {
+  Proc from = Proc::P;
+  Proc to = Proc::P;
+  std::int64_t elements = 0;
+};
+
+/// Per-run network statistics.
+struct NetworkStats {
+  std::int64_t messagesSent = 0;   ///< Including forwarding hops.
+  std::int64_t elementsMoved = 0;  ///< Element·hops.
+  std::array<double, kNumProcs> nicBusySeconds{};
+};
+
+class Network {
+ public:
+  Network(EventQueue& events, const Machine& machine, Topology topology,
+          StarConfig star = {})
+      : events_(events), machine_(machine), topology_(topology), star_(star) {}
+
+  /// Queues `message` on the sender's NIC no earlier than `readyAt`;
+  /// `onDelivered(t)` fires at final delivery (after the hub hop, if any).
+  /// Zero-element messages deliver immediately without NIC cost.
+  void send(const SimMessage& message, double readyAt,
+            std::function<void(double)> onDelivered);
+
+  /// Earliest instant the processor's NIC can accept another send.
+  double nicFreeAt(Proc p) const { return nicFreeAt_[procSlot(p)]; }
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  /// Books one hop on `sender`'s NIC starting no earlier than readyAt;
+  /// returns completion time.
+  double bookHop(Proc sender, std::int64_t elements, double readyAt);
+
+  EventQueue& events_;
+  Machine machine_;
+  Topology topology_;
+  StarConfig star_;
+  std::array<double, kNumProcs> nicFreeAt_{};
+  NetworkStats stats_;
+};
+
+}  // namespace pushpart

@@ -1,0 +1,52 @@
+// Checked assertions that stay on in Release builds.
+//
+// The Push engine's correctness guarantees (volume of communication never
+// increases, enclosing rectangles never grow) are enforced at runtime; the
+// cost of the checks is negligible next to the grid scans they guard, so we
+// keep them in every build type rather than relying on NDEBUG-stripped
+// assert().
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pushpart {
+
+/// Thrown when a PUSHPART_CHECK fails. Carries file:line plus the failed
+/// expression so test failures point at the violated invariant directly.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PUSHPART_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace pushpart
+
+/// Always-on invariant check. Throws pushpart::CheckError on failure.
+#define PUSHPART_CHECK(expr)                                               \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::pushpart::detail::checkFailed(#expr, __FILE__, __LINE__, "");      \
+  } while (false)
+
+/// Always-on invariant check with a streamed message:
+///   PUSHPART_CHECK_MSG(a == b, "a=" << a << " b=" << b);
+#define PUSHPART_CHECK_MSG(expr, stream_expr)                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << stream_expr;                                                  \
+      ::pushpart::detail::checkFailed(#expr, __FILE__, __LINE__,           \
+                                      os_.str());                          \
+    }                                                                      \
+  } while (false)

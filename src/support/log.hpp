@@ -1,0 +1,44 @@
+// Leveled stderr logging for long-running batch searches.
+//
+// The DFA batch runner executes thousands of randomized searches; progress
+// lines go to stderr so stdout stays clean for the experiment tables.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pushpart {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Thread-safe: the formatted line is written with a single stream insertion.
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Builds the message with stream syntax, emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace pushpart
+
+#define PUSHPART_LOG(level) ::pushpart::detail::LogLine(::pushpart::LogLevel::level)

@@ -1,0 +1,59 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/check.hpp"
+#include "support/csv.hpp"
+
+namespace pushpart {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PUSHPART_CHECK(!header_.empty());
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  PUSHPART_CHECK_MSG(cells.size() == header_.size(),
+                     "row arity " << cells.size() << " != header arity "
+                                  << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::addRow(const std::string& label, const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(formatNumber(v));
+  addRow(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto printRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << "  ";
+      // Left-align the first column (labels), right-align the rest (numbers).
+      const auto pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        os << cells[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cells[c];
+      }
+    }
+    os << '\n';
+  };
+
+  printRow(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) printRow(r);
+}
+
+}  // namespace pushpart

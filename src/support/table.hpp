@@ -1,0 +1,35 @@
+// Aligned console tables for bench output.
+//
+// The bench binaries regenerate the paper's tables/figures as text; this
+// printer keeps the rows readable (right-aligned numerics, padded headers)
+// without pulling in a formatting library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pushpart {
+
+/// Collects rows of string cells and prints them column-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, the rest are numbers.
+  void addRow(const std::string& label, const std::vector<double>& values);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with 2-space gutters and a rule under the header.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pushpart

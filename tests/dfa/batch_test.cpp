@@ -1,0 +1,91 @@
+#include "dfa/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(BatchTest, RunsRequestedNumberOfWalks) {
+  BatchOptions opts;
+  opts.n = 12;
+  opts.ratio = Ratio{2, 1, 1};
+  opts.runs = 8;
+  opts.threads = 3;
+  opts.seed = 17;
+  std::vector<int> indices;
+  runBatch(opts, [&](const BatchRun& run) {
+    indices.push_back(run.runIndex);
+    EXPECT_LE(run.result.vocEnd, run.result.vocStart);
+  });
+  EXPECT_EQ(indices.size(), 8u);
+  // Every index exactly once, regardless of thread interleaving.
+  std::set<int> unique(indices.begin(), indices.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), 7);
+}
+
+TEST(BatchTest, ReproducibleAcrossThreadCounts) {
+  BatchOptions opts;
+  opts.n = 10;
+  opts.ratio = Ratio{3, 1, 1};
+  opts.runs = 6;
+  opts.seed = 23;
+
+  auto collect = [&](int threads) {
+    opts.threads = threads;
+    std::vector<std::uint64_t> hashes(static_cast<std::size_t>(opts.runs));
+    runBatch(opts, [&](const BatchRun& run) {
+      hashes[static_cast<std::size_t>(run.runIndex)] = run.result.final.hash();
+    });
+    return hashes;
+  };
+
+  EXPECT_EQ(collect(1), collect(4));
+}
+
+TEST(BatchTest, ZeroRunsIsNoOp) {
+  BatchOptions opts;
+  opts.runs = 0;
+  int calls = 0;
+  runBatch(opts, [&](const BatchRun&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(BatchTest, InvalidRatioRejected) {
+  BatchOptions opts;
+  opts.ratio = Ratio{1, 2, 1};  // R faster than P violates §IV assumption 2
+  EXPECT_THROW(runBatch(opts, [](const BatchRun&) {}), CheckError);
+}
+
+TEST(BatchTest, CallbackExceptionPropagates) {
+  BatchOptions opts;
+  opts.n = 8;
+  opts.runs = 4;
+  opts.threads = 2;
+  EXPECT_THROW(runBatch(opts,
+                        [](const BatchRun&) {
+                          throw std::runtime_error("callback failure");
+                        }),
+               std::runtime_error);
+}
+
+TEST(BatchTest, SchedulesVaryAcrossRuns) {
+  BatchOptions opts;
+  opts.n = 10;
+  opts.runs = 12;
+  opts.seed = 31;
+  std::set<std::string> schedules;
+  runBatch(opts, [&](const BatchRun& run) {
+    schedules.insert(run.schedule.str());
+  });
+  EXPECT_GT(schedules.size(), 4u);
+}
+
+}  // namespace
+}  // namespace pushpart

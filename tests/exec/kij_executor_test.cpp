@@ -1,0 +1,118 @@
+#include "exec/kij_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "grid/builder.hpp"
+#include "shapes/candidates.hpp"
+#include "support/rng.hpp"
+
+namespace pushpart {
+namespace {
+
+ExecOptions fastOptions(const Ratio& ratio) {
+  ExecOptions opts;
+  opts.machine.ratio = ratio;
+  opts.machine.sendElementSeconds = 8e-9;
+  opts.verify = true;
+  opts.seed = 42;
+  return opts;
+}
+
+TEST(KijExecutorTest, ResultMatchesSerialReference) {
+  Rng rng(4);
+  const Ratio ratio{2, 1, 1};
+  const auto q = randomPartition(48, ratio, rng);
+  const auto result = runParallelMMM(Algo::kSCB, q, fastOptions(ratio));
+  EXPECT_TRUE(result.verified);
+  // Same input, same kij dot products — exact agreement modulo FP
+  // reassociation (none here: identical accumulation order per element).
+  EXPECT_LT(result.maxAbsError, 1e-9);
+}
+
+TEST(KijExecutorTest, CandidateShapesComputeCorrectly) {
+  const Ratio ratio{5, 2, 1};
+  for (CandidateShape shape :
+       {CandidateShape::kBlockRectangle, CandidateShape::kSquareRectangle,
+        CandidateShape::kTraditionalRectangle}) {
+    const auto q = makeCandidate(shape, 40, ratio);
+    const auto result = runParallelMMM(Algo::kPCB, q, fastOptions(ratio));
+    EXPECT_LT(result.maxAbsError, 1e-9) << candidateName(shape);
+  }
+}
+
+TEST(KijExecutorTest, CommElementsMatchVoC) {
+  Rng rng(5);
+  const Ratio ratio{3, 1, 1};
+  const auto q = randomPartition(32, ratio, rng);
+  const auto result = runParallelMMM(Algo::kSCB, q, fastOptions(ratio));
+  EXPECT_EQ(result.commElements, q.volumeOfCommunication());
+}
+
+TEST(KijExecutorTest, PcbCommNoSlowerPhaseThanScb) {
+  Rng rng(6);
+  const Ratio ratio{3, 1, 1};
+  const auto q = randomPartition(32, ratio, rng);
+  const auto scb = runParallelMMM(Algo::kSCB, q, fastOptions(ratio));
+  const auto pcb = runParallelMMM(Algo::kPCB, q, fastOptions(ratio));
+  EXPECT_LE(pcb.commSeconds, scb.commSeconds + 1e-15);
+}
+
+TEST(KijExecutorTest, OverlapAlgorithmsRejected) {
+  Partition q(8);
+  EXPECT_THROW(runParallelMMM(Algo::kSCO, q, fastOptions(Ratio{2, 1, 1})),
+               std::invalid_argument);
+  EXPECT_THROW(runParallelMMM(Algo::kPIO, q, fastOptions(Ratio{2, 1, 1})),
+               std::invalid_argument);
+}
+
+TEST(KijExecutorTest, ThrottlingSlowsWallClock) {
+  // Same partition, same work; an 8:1:1 ratio forces R and S to 1/8 duty
+  // cycle, so wall time must exceed an unthrottled (1:1:1) run. Taking the
+  // minimum of several runs suppresses scheduler noise at millisecond scale.
+  const int n = 224;  // enough work that throttling dwarfs scheduler noise
+  Rng rng(7);
+  const auto balanced = randomPartition(n, Ratio{1, 1, 1}, rng);
+  auto even = fastOptions(Ratio{1, 1, 1});
+  even.verify = false;
+  auto skewed = fastOptions(Ratio{8, 1, 1});
+  skewed.verify = false;
+
+  double fast = 1e9, slow = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    fast = std::min(fast, runParallelMMM(Algo::kPCB, balanced, even).wallSeconds);
+    slow = std::min(slow, runParallelMMM(Algo::kPCB, balanced, skewed).wallSeconds);
+  }
+  EXPECT_GT(slow, fast);
+}
+
+TEST(KijExecutorTest, RatioSizedPartitionBalancesThrottledWorkers) {
+  // When the partition matches the speed ratio, per-worker busy times divide
+  // by speed and all throttled wall times roughly agree — heterogeneity
+  // works as designed.
+  const Ratio ratio{4, 2, 1};
+  const auto q = makeCandidate(CandidateShape::kBlockRectangle, 160, ratio);
+  auto opts = fastOptions(ratio);
+  opts.verify = false;
+  const auto result = runParallelMMM(Algo::kPCB, q, opts);
+  // P does 4/7 of the work at full speed; S does 1/7 at quarter speed.
+  // Busy (pure compute) time of P should be ≈ 4× S's; allow generous noise
+  // margin (sub-second timings on a shared machine).
+  const double pBusy = result.computeSeconds[procSlot(Proc::P)];
+  const double sBusy = result.computeSeconds[procSlot(Proc::S)];
+  EXPECT_GT(pBusy, sBusy * 1.5);
+}
+
+TEST(KijExecutorTest, DeterministicInputs) {
+  Rng rng(8);
+  const Ratio ratio{2, 1, 1};
+  const auto q = randomPartition(24, ratio, rng);
+  const auto a = runParallelMMM(Algo::kSCB, q, fastOptions(ratio));
+  const auto b = runParallelMMM(Algo::kSCB, q, fastOptions(ratio));
+  EXPECT_EQ(a.commElements, b.commElements);
+  EXPECT_DOUBLE_EQ(a.maxAbsError, b.maxAbsError);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,58 @@
+#include "exec/throttle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(ThrottleTest, FullSpeedNeverSleeps) {
+  Throttle t(1.0);
+  Stopwatch sw;
+  for (int i = 0; i < 100; ++i) t.charge(0.01);
+  EXPECT_DOUBLE_EQ(t.sleptSeconds(), 0.0);
+  EXPECT_LT(sw.seconds(), 0.1);  // no real sleeping happened
+}
+
+TEST(ThrottleTest, HalfSpeedSleepsAsMuchAsItWorks) {
+  Throttle t(0.5);
+  t.charge(0.02);
+  // After 0.02 s of compute at 50% duty, elapsed should be 0.04 s.
+  EXPECT_NEAR(t.sleptSeconds(), 0.02, 0.005);
+}
+
+TEST(ThrottleTest, QuarterSpeedSleepsThreeTimesTheWork) {
+  Throttle t(0.25);
+  t.charge(0.01);
+  EXPECT_NEAR(t.sleptSeconds(), 0.03, 0.005);
+}
+
+TEST(ThrottleTest, SleepAccumulatesAcrossCharges) {
+  Throttle t(0.5);
+  for (int i = 0; i < 4; ++i) t.charge(0.005);
+  EXPECT_NEAR(t.sleptSeconds(), 0.02, 0.01);
+}
+
+TEST(ThrottleTest, ActualWallClockMatchesDutyCycle) {
+  Throttle t(0.5);
+  Stopwatch sw;
+  t.charge(0.02);
+  // Wall time for the charge call ≈ the sleep it inserted.
+  EXPECT_GE(sw.seconds(), 0.015);
+}
+
+TEST(ThrottleTest, InvalidFractionsRejected) {
+  EXPECT_THROW(Throttle(0.0), CheckError);
+  EXPECT_THROW(Throttle(-0.5), CheckError);
+  EXPECT_THROW(Throttle(1.5), CheckError);
+}
+
+TEST(ThrottleTest, NegativeChargeRejected) {
+  Throttle t(0.5);
+  EXPECT_THROW(t.charge(-1.0), CheckError);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,157 @@
+#include "grid/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/builder.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(PartitionTest, FreshGridIsAllFillProcessor) {
+  Partition q(4);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(q.at(i, j), Proc::P);
+  EXPECT_EQ(q.count(Proc::P), 16);
+  EXPECT_EQ(q.count(Proc::R), 0);
+  EXPECT_EQ(q.count(Proc::S), 0);
+}
+
+TEST(PartitionTest, UniformGridHasZeroVoC) {
+  Partition q(8);
+  EXPECT_EQ(q.volumeOfCommunication(), 0);
+}
+
+TEST(PartitionTest, SetUpdatesCountsIncrementally) {
+  Partition q(4);
+  q.set(1, 2, Proc::R);
+  EXPECT_EQ(q.at(1, 2), Proc::R);
+  EXPECT_EQ(q.count(Proc::R), 1);
+  EXPECT_EQ(q.count(Proc::P), 15);
+  EXPECT_EQ(q.rowCount(Proc::R, 1), 1);
+  EXPECT_EQ(q.colCount(Proc::R, 2), 1);
+  EXPECT_EQ(q.rowsUsed(Proc::R), 1);
+  EXPECT_EQ(q.colsUsed(Proc::R), 1);
+  EXPECT_EQ(q.procsInRow(1), 2);
+  EXPECT_EQ(q.procsInCol(2), 2);
+  EXPECT_EQ(q.procsInRow(0), 1);
+}
+
+TEST(PartitionTest, SetSameOwnerIsNoOp) {
+  Partition q(4);
+  q.set(0, 0, Proc::P);
+  EXPECT_EQ(q.count(Proc::P), 16);
+  q.validateCounters();
+}
+
+TEST(PartitionTest, VoCSingleForeignCell) {
+  // One R cell in a 4x4 P grid: row 1 and col 2 each have 2 owners.
+  // VoC = N(2-1) + N(2-1) = 4 + 4 = 8.
+  Partition q(4);
+  q.set(1, 2, Proc::R);
+  EXPECT_EQ(q.volumeOfCommunication(), 8);
+}
+
+TEST(PartitionTest, VoCMatchesPaperFormulaOnRandomGrids) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto q = randomPartition(16, Ratio{3, 2, 1}, rng);
+    // Recompute Eq. 1 from scratch.
+    std::int64_t voc = 0;
+    for (int i = 0; i < q.n(); ++i) voc += q.n() * (q.procsInRow(i) - 1);
+    for (int j = 0; j < q.n(); ++j) voc += q.n() * (q.procsInCol(j) - 1);
+    EXPECT_EQ(q.volumeOfCommunication(), voc);
+  }
+}
+
+TEST(PartitionTest, SwapCellsExchangesOwners) {
+  Partition q(4);
+  q.set(0, 0, Proc::R);
+  q.set(3, 3, Proc::S);
+  q.swapCells(0, 0, 3, 3);
+  EXPECT_EQ(q.at(0, 0), Proc::S);
+  EXPECT_EQ(q.at(3, 3), Proc::R);
+  q.validateCounters();
+}
+
+TEST(PartitionTest, EnclosingRectTracksElements) {
+  Partition q(8);
+  EXPECT_TRUE(q.enclosingRect(Proc::R).isEmpty());
+  q.set(2, 3, Proc::R);
+  q.set(5, 6, Proc::R);
+  const Rect r = q.enclosingRect(Proc::R);
+  EXPECT_EQ(r, (Rect{2, 6, 3, 7}));
+  // P's rectangle is still the whole grid.
+  EXPECT_EQ(q.enclosingRect(Proc::P), (Rect{0, 8, 0, 8}));
+}
+
+TEST(PartitionTest, EnclosingRectShrinksWhenElementRemoved) {
+  Partition q(8);
+  q.set(2, 3, Proc::R);
+  q.set(5, 6, Proc::R);
+  q.set(5, 6, Proc::P);  // take it back
+  EXPECT_EQ(q.enclosingRect(Proc::R), (Rect{2, 3, 3, 4}));
+}
+
+TEST(PartitionTest, HashDiffersForDifferentGrids) {
+  Partition a(6), b(6);
+  b.set(0, 0, Proc::R);
+  EXPECT_NE(a.hash(), b.hash());
+  Partition c(6);
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(PartitionTest, EqualityComparesCells) {
+  Partition a(5), b(5);
+  EXPECT_EQ(a, b);
+  b.set(2, 2, Proc::S);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PartitionTest, OutOfRangeSetThrows) {
+  Partition q(4);
+  EXPECT_THROW(q.set(-1, 0, Proc::R), CheckError);
+  EXPECT_THROW(q.set(0, 4, Proc::R), CheckError);
+  EXPECT_THROW(q.set(4, 0, Proc::R), CheckError);
+}
+
+TEST(PartitionTest, NonPositiveSizeThrows) {
+  EXPECT_THROW(Partition(0), CheckError);
+  EXPECT_THROW(Partition(-3), CheckError);
+}
+
+TEST(PartitionTest, ValidateCountersPassesAfterRandomMutation) {
+  Rng rng(77);
+  Partition q(20);
+  for (int step = 0; step < 5000; ++step) {
+    const int i = static_cast<int>(rng.below(20));
+    const int j = static_cast<int>(rng.below(20));
+    const Proc p = procFromIndex(static_cast<int>(rng.below(3)));
+    q.set(i, j, p);
+  }
+  q.validateCounters();
+}
+
+// Parameterised sweep: VoC and rectangles stay consistent across sizes.
+class PartitionSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionSizeTest, CheckerboardCountsAreExact) {
+  const int n = GetParam();
+  Partition q(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if ((i + j) % 2 == 0) q.set(i, j, Proc::R);
+  q.validateCounters();
+  // Every row and column holds both P and R: c_i = c_j = 2 everywhere.
+  EXPECT_EQ(q.volumeOfCommunication(),
+            2LL * n * n);  // N·(2N - N)·2 halves = 2N²
+  EXPECT_EQ(q.count(Proc::R) + q.count(Proc::P), static_cast<std::int64_t>(n) * n);
+  EXPECT_EQ(q.enclosingRect(Proc::R), (Rect{0, n, 0, n}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PartitionSizeTest,
+                         ::testing::Values(2, 3, 4, 7, 16, 33, 64));
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,54 @@
+#include "grid/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "grid/builder.hpp"
+#include "support/rng.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(SerializeTest, StreamRoundTrip) {
+  Rng rng(4);
+  const auto q = randomPartition(12, Ratio{3, 2, 1}, rng);
+  std::stringstream ss;
+  savePartition(q, ss);
+  const auto back = loadPartition(ss);
+  EXPECT_EQ(q, back);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pushpart_serialize.txt";
+  Rng rng(4);
+  const auto q = randomPartition(9, Ratio{2, 1, 1}, rng);
+  savePartition(q, path);
+  const auto back = loadPartition(path);
+  EXPECT_EQ(q, back);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BadMagicThrows) {
+  std::stringstream ss("not-a-partition\nn 3\nPPP\nPPP\nPPP\n");
+  EXPECT_THROW(loadPartition(ss), std::runtime_error);
+}
+
+TEST(SerializeTest, BadSizeThrows) {
+  std::stringstream ss("pushpart-partition v1\nn -2\n");
+  EXPECT_THROW(loadPartition(ss), std::runtime_error);
+}
+
+TEST(SerializeTest, TruncatedGridThrows) {
+  std::stringstream ss("pushpart-partition v1\nn 3\nPPP\nPPP\n");
+  EXPECT_THROW(loadPartition(ss), std::runtime_error);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(loadPartition(std::string("/no/such/file.txt")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,102 @@
+#include "model/closed_form.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shapes/candidates.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(ClosedFormTest, SquareCornerFormula) {
+  // 2(√(R/T) + √(S/T)); for 10:1:1, T = 12.
+  const Ratio ratio{10, 1, 1};
+  EXPECT_NEAR(closedFormVoC(CandidateShape::kSquareCorner, ratio),
+              2.0 * (std::sqrt(1.0 / 12) + std::sqrt(1.0 / 12)), 1e-12);
+}
+
+TEST(ClosedFormTest, SquareCornerInfeasibleBelowBoundary) {
+  EXPECT_TRUE(std::isinf(
+      closedFormVoC(CandidateShape::kSquareCorner, Ratio{1.5, 1, 1})));
+}
+
+TEST(ClosedFormTest, BlockAndTraditionalAgree) {
+  // Both cost 1 + (R_r+S_r)/T in the continuous limit.
+  for (const auto& ratio : paperRatios()) {
+    EXPECT_DOUBLE_EQ(closedFormVoC(CandidateShape::kBlockRectangle, ratio),
+                     closedFormVoC(CandidateShape::kTraditionalRectangle, ratio));
+  }
+}
+
+TEST(ClosedFormTest, LRectangleAlwaysAtLeastTraditional) {
+  // 1 + (P_r+S_r)/T ≥ 1 + (R_r+S_r)/T because P_r ≥ R_r.
+  for (const auto& ratio : paperRatios()) {
+    EXPECT_GE(closedFormVoC(CandidateShape::kLRectangle, ratio) + 1e-12,
+              closedFormVoC(CandidateShape::kTraditionalRectangle, ratio));
+  }
+}
+
+// Cross-validation: the closed forms must match grid-measured VoC of the
+// integer constructions up to O(1/N) discretisation.
+class ClosedFormCrossCheck : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ClosedFormCrossCheck, MatchesMeasuredVoC) {
+  const auto ratio = Ratio::parse(GetParam());
+  const int n = 240;
+  for (CandidateShape shape : kAllCandidates) {
+    const double predicted = closedFormVoC(shape, ratio);
+    if (std::isinf(predicted)) continue;
+    if (!candidateFeasible(shape, n, ratio)) continue;
+    const auto q = makeCandidate(shape, n, ratio);
+    const double measured =
+        static_cast<double>(q.volumeOfCommunication()) / (static_cast<double>(n) * n);
+    EXPECT_NEAR(measured, predicted, 6.0 / n + 0.01)
+        << candidateName(shape) << " at ratio " << ratio.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRatios, ClosedFormCrossCheck,
+                         ::testing::Values("2:1:1", "3:1:1", "4:1:1", "5:1:1",
+                                           "10:1:1", "3:2:1", "4:2:1", "5:2:1",
+                                           "5:3:1", "5:4:1"));
+
+TEST(ClosedFormScbTest, ScalesWithN2AndTsend) {
+  const Ratio ratio{5, 1, 1};
+  const double a =
+      closedFormScbCommSeconds(CandidateShape::kBlockRectangle, ratio, 100, 8e-9);
+  const double b =
+      closedFormScbCommSeconds(CandidateShape::kBlockRectangle, ratio, 200, 8e-9);
+  EXPECT_NEAR(b / a, 4.0, 1e-9);
+  const double c =
+      closedFormScbCommSeconds(CandidateShape::kBlockRectangle, ratio, 100, 16e-9);
+  EXPECT_NEAR(c / a, 2.0, 1e-9);
+}
+
+TEST(CrossoverTest, SquareCornerEventuallyWins) {
+  // Fig. 13: for R_r = S_r = 1 the Square-Corner beats the Block-Rectangle
+  // once P_r is large enough.
+  const double cross = squareCornerCrossover(1, 1);
+  ASSERT_TRUE(std::isfinite(cross));
+  EXPECT_GT(cross, 2.0);  // beyond the feasibility boundary
+  // Verify the sign on both sides.
+  const Ratio below{cross * 0.95, 1, 1};
+  const Ratio above{cross * 1.05, 1, 1};
+  EXPECT_GT(closedFormVoC(CandidateShape::kSquareCorner, below),
+            closedFormVoC(CandidateShape::kBlockRectangle, below));
+  EXPECT_LT(closedFormVoC(CandidateShape::kSquareCorner, above),
+            closedFormVoC(CandidateShape::kBlockRectangle, above));
+}
+
+TEST(CrossoverTest, HigherRRaisesCrossover) {
+  // More balanced slow processors delay the Square-Corner's win (Fig. 13's
+  // surface rises with R_r).
+  const double c1 = squareCornerCrossover(1, 1);
+  const double c4 = squareCornerCrossover(4, 1);
+  ASSERT_TRUE(std::isfinite(c1));
+  ASSERT_TRUE(std::isfinite(c4));
+  EXPECT_GT(c4, c1);
+}
+
+}  // namespace
+}  // namespace pushpart

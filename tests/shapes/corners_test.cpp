@@ -1,0 +1,183 @@
+#include "shapes/corners.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/builder.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(CornerCountTest, RectangleHasFourCorners) {
+  const auto q = fromAscii(
+      "RRPP\n"
+      "RRPP\n"
+      "PPPP\n"
+      "PPPP\n");
+  EXPECT_EQ(cornerCount(q, Proc::R), 4);
+}
+
+TEST(CornerCountTest, SingleCellHasFourCorners) {
+  const auto q = fromAscii(
+      "PPP\n"
+      "PRP\n"
+      "PPP\n");
+  EXPECT_EQ(cornerCount(q, Proc::R), 4);
+}
+
+TEST(CornerCountTest, FullGridHasFourCorners) {
+  Partition q(5);
+  EXPECT_EQ(cornerCount(q, Proc::P), 4);
+}
+
+TEST(CornerCountTest, LShapeHasSixCorners) {
+  const auto q = fromAscii(
+      "RPPP\n"
+      "RPPP\n"
+      "RRRP\n"
+      "PPPP\n");
+  EXPECT_EQ(cornerCount(q, Proc::R), 6);
+}
+
+TEST(CornerCountTest, SurroundWrapHasEightCorners) {
+  // R wraps S on all sides (paper Archetype D ideal drawing).
+  const auto q = fromAscii(
+      "RRRRP\n"
+      "RSSRP\n"
+      "RSSRP\n"
+      "RRRRP\n"
+      "PPPPP\n");
+  EXPECT_EQ(cornerCount(q, Proc::R), 8);
+  EXPECT_EQ(cornerCount(q, Proc::S), 4);
+}
+
+TEST(CornerCountTest, DiagonalTouchCountsBothPinchCorners) {
+  const auto q = fromAscii(
+      "RPP\n"
+      "PRP\n"
+      "PPP\n");
+  // Two unit squares touching diagonally: 4 + 4 corners, the shared vertex
+  // contributing 2.
+  EXPECT_EQ(cornerCount(q, Proc::R), 8);
+}
+
+TEST(CornerCountTest, AbsentProcessorHasNoCorners) {
+  Partition q(4);
+  EXPECT_EQ(cornerCount(q, Proc::R), 0);
+}
+
+TEST(CornerCountTest, TwoDisjointRectanglesSumCorners) {
+  const auto q = fromAscii(
+      "RRPPP\n"
+      "RRPPP\n"
+      "PPPPP\n"
+      "PPPRR\n"
+      "PPPRR\n");
+  EXPECT_EQ(cornerCount(q, Proc::R), 8);
+}
+
+TEST(IsRectangleTest, ExactRectangles) {
+  const auto q = fromAscii(
+      "RRPP\n"
+      "RRPP\n"
+      "PPSP\n"
+      "PPPP\n");
+  EXPECT_TRUE(isRectangle(q, Proc::R));
+  EXPECT_TRUE(isRectangle(q, Proc::S));
+  EXPECT_FALSE(isRectangle(q, Proc::P));  // P is an L around them
+}
+
+TEST(IsRectangleTest, FalseForMissingCell) {
+  const auto q = fromAscii(
+      "RRPP\n"
+      "RPPP\n"
+      "PPPP\n"
+      "PPPP\n");
+  EXPECT_FALSE(isRectangle(q, Proc::R));
+}
+
+TEST(IsRectangleTest, FalseForAbsentProcessor) {
+  Partition q(3);
+  EXPECT_FALSE(isRectangle(q, Proc::S));
+}
+
+TEST(AsymptoticRectTest, ExactRectangleQualifies) {
+  const auto q = fromAscii(
+      "RRPP\n"
+      "RRPP\n"
+      "PPPP\n"
+      "PPPP\n");
+  EXPECT_TRUE(isAsymptoticallyRectangular(q, Proc::R));
+}
+
+TEST(AsymptoticRectTest, PartialTopRowQualifies) {
+  // Paper Fig. 3 left: one edge row shorter than the rectangle.
+  const auto q = fromAscii(
+      "RRPP\n"
+      "RRRP\n"
+      "RRRP\n"
+      "PPPP\n");
+  EXPECT_TRUE(isAsymptoticallyRectangular(q, Proc::R));
+}
+
+TEST(AsymptoticRectTest, PartialEdgeColumnQualifies) {
+  const auto q = fromAscii(
+      "RRRP\n"
+      "RRRP\n"
+      "RRPP\n"
+      "RRPP\n");
+  EXPECT_TRUE(isAsymptoticallyRectangular(q, Proc::R));
+}
+
+TEST(AsymptoticRectTest, TwoShortRowsDisqualify) {
+  // Paper Fig. 3 right: two rows shorter than the enclosing rectangle.
+  const auto q = fromAscii(
+      "RPPP\n"
+      "RRPP\n"
+      "RRRP\n"
+      "PPPP\n");
+  EXPECT_FALSE(isAsymptoticallyRectangular(q, Proc::R));
+}
+
+TEST(AsymptoticRectTest, InteriorHoleDisqualifies) {
+  const auto q = fromAscii(
+      "RRR\n"
+      "RPR\n"
+      "RRR\n");
+  EXPECT_FALSE(isAsymptoticallyRectangular(q, Proc::R));
+}
+
+TEST(AsymptoticRectTest, AbsentProcessorDisqualifies) {
+  Partition q(3);
+  EXPECT_FALSE(isAsymptoticallyRectangular(q, Proc::R));
+}
+
+TEST(ConnectedComponentsTest, CountsBlobs) {
+  const auto q = fromAscii(
+      "RRPPP\n"
+      "RRPPP\n"
+      "PPPPP\n"
+      "PPPRR\n"
+      "PPPRR\n");
+  EXPECT_EQ(connectedComponents(q, Proc::R), 2);
+  EXPECT_EQ(connectedComponents(q, Proc::P), 1);
+  EXPECT_EQ(connectedComponents(q, Proc::S), 0);
+}
+
+TEST(ConnectedComponentsTest, DiagonalIsNotConnected) {
+  const auto q = fromAscii(
+      "RP\n"
+      "PR\n");
+  EXPECT_EQ(connectedComponents(q, Proc::R), 2);
+}
+
+TEST(ConnectedComponentsTest, SingleRegion) {
+  const auto q = fromAscii(
+      "RPPP\n"
+      "RPPP\n"
+      "RRRP\n"
+      "PPPP\n");
+  EXPECT_EQ(connectedComponents(q, Proc::R), 1);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,120 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pushpart {
+namespace {
+
+Machine flatMachine() {
+  Machine m;
+  m.alphaSeconds = 0.0;
+  m.sendElementSeconds = 1.0;  // 1 second per element: easy arithmetic
+  m.ratio = Ratio{2, 1, 1};
+  return m;
+}
+
+TEST(NetworkTest, DirectSendTakesHockneyTime) {
+  EventQueue events;
+  Machine m = flatMachine();
+  m.alphaSeconds = 2.0;
+  Network net(events, m, Topology::kFullyConnected);
+  double delivered = -1;
+  net.send({Proc::R, Proc::P, 10}, 0.0, [&](double t) { delivered = t; });
+  events.run();
+  EXPECT_DOUBLE_EQ(delivered, 12.0);  // α + β·M = 2 + 10
+}
+
+TEST(NetworkTest, NicSerializesSends) {
+  EventQueue events;
+  Network net(events, flatMachine(), Topology::kFullyConnected);
+  double d1 = -1, d2 = -1;
+  net.send({Proc::R, Proc::P, 5}, 0.0, [&](double t) { d1 = t; });
+  net.send({Proc::R, Proc::S, 5}, 0.0, [&](double t) { d2 = t; });
+  events.run();
+  EXPECT_DOUBLE_EQ(d1, 5.0);
+  EXPECT_DOUBLE_EQ(d2, 10.0);  // second send waits for the NIC
+}
+
+TEST(NetworkTest, DifferentSendersProceedInParallel) {
+  EventQueue events;
+  Network net(events, flatMachine(), Topology::kFullyConnected);
+  double d1 = -1, d2 = -1;
+  net.send({Proc::R, Proc::P, 5}, 0.0, [&](double t) { d1 = t; });
+  net.send({Proc::S, Proc::P, 5}, 0.0, [&](double t) { d2 = t; });
+  events.run();
+  EXPECT_DOUBLE_EQ(d1, 5.0);
+  EXPECT_DOUBLE_EQ(d2, 5.0);
+}
+
+TEST(NetworkTest, StarRelaysThroughHub) {
+  EventQueue events;
+  Network net(events, flatMachine(), Topology::kStar, StarConfig{Proc::P});
+  double delivered = -1;
+  net.send({Proc::R, Proc::S, 4}, 0.0, [&](double t) { delivered = t; });
+  events.run();
+  EXPECT_DOUBLE_EQ(delivered, 8.0);  // two hops of 4 elements
+  EXPECT_EQ(net.stats().messagesSent, 2);
+  EXPECT_EQ(net.stats().elementsMoved, 8);
+}
+
+TEST(NetworkTest, StarHubTrafficIsDirect) {
+  EventQueue events;
+  Network net(events, flatMachine(), Topology::kStar, StarConfig{Proc::P});
+  double delivered = -1;
+  net.send({Proc::R, Proc::P, 4}, 0.0, [&](double t) { delivered = t; });
+  events.run();
+  EXPECT_DOUBLE_EQ(delivered, 4.0);
+  EXPECT_EQ(net.stats().messagesSent, 1);
+}
+
+TEST(NetworkTest, HubForwardingContendsWithItsOwnSends) {
+  EventQueue events;
+  Network net(events, flatMachine(), Topology::kStar, StarConfig{Proc::P});
+  double spokeDelivered = -1, hubDelivered = -1;
+  // Spoke-to-spoke message arrives at the hub at t=4, but the hub's NIC is
+  // busy with its own 10-element send until t=10.
+  net.send({Proc::P, Proc::R, 10}, 0.0, [&](double t) { hubDelivered = t; });
+  net.send({Proc::R, Proc::S, 4}, 0.0, [&](double t) { spokeDelivered = t; });
+  events.run();
+  EXPECT_DOUBLE_EQ(hubDelivered, 10.0);
+  EXPECT_DOUBLE_EQ(spokeDelivered, 14.0);  // forward waits for the hub NIC
+}
+
+TEST(NetworkTest, ZeroElementMessageDeliversInstantly) {
+  EventQueue events;
+  Network net(events, flatMachine(), Topology::kFullyConnected);
+  double delivered = -1;
+  net.send({Proc::R, Proc::P, 0}, 3.0, [&](double t) { delivered = t; });
+  events.run();
+  EXPECT_DOUBLE_EQ(delivered, 3.0);
+  EXPECT_EQ(net.stats().messagesSent, 0);
+}
+
+TEST(NetworkTest, ReadyAtDefersBooking) {
+  EventQueue events;
+  Network net(events, flatMachine(), Topology::kFullyConnected);
+  double delivered = -1;
+  net.send({Proc::R, Proc::P, 5}, 7.0, [&](double t) { delivered = t; });
+  events.run();
+  EXPECT_DOUBLE_EQ(delivered, 12.0);
+}
+
+TEST(NetworkTest, SelfSendRejected) {
+  EventQueue events;
+  Network net(events, flatMachine(), Topology::kFullyConnected);
+  EXPECT_THROW(net.send({Proc::R, Proc::R, 5}, 0.0, [](double) {}),
+               CheckError);
+}
+
+TEST(NetworkTest, BusySecondsTracked) {
+  EventQueue events;
+  Network net(events, flatMachine(), Topology::kFullyConnected);
+  net.send({Proc::R, Proc::P, 5}, 0.0, [](double) {});
+  net.send({Proc::R, Proc::S, 3}, 0.0, [](double) {});
+  events.run();
+  EXPECT_DOUBLE_EQ(net.stats().nicBusySeconds[procSlot(Proc::R)], 8.0);
+  EXPECT_DOUBLE_EQ(net.stats().nicBusySeconds[procSlot(Proc::P)], 0.0);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,83 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/stopwatch.hpp"
+
+namespace pushpart {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(logLevel()) {}
+  ~LogLevelGuard() { setLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, LevelThresholdRoundTrips) {
+  LogLevelGuard guard;
+  setLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(logLevel(), LogLevel::kWarn);
+  setLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(logLevel(), LogLevel::kDebug);
+}
+
+TEST(LogTest, SuppressedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  setLogLevel(LogLevel::kError);
+  // These go below the threshold and must be dropped silently.
+  PUSHPART_LOG(kDebug) << "dropped " << 1;
+  PUSHPART_LOG(kInfo) << "dropped " << 2.5;
+  PUSHPART_LOG(kWarn) << "dropped " << "three";
+}
+
+TEST(LogTest, StreamSyntaxFormatsMixedTypes) {
+  LogLevelGuard guard;
+  setLogLevel(LogLevel::kError);  // keep test output clean
+  PUSHPART_LOG(kInfo) << "n=" << 42 << " ratio=" << 2.5 << " ok=" << true;
+}
+
+TEST(LogTest, ConcurrentLoggingIsSafe) {
+  LogLevelGuard guard;
+  setLogLevel(LogLevel::kError);  // suppressed, but the path is exercised
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i)
+        PUSHPART_LOG(kInfo) << "thread " << t << " line " << i;
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(sw.seconds(), 0.015);
+  EXPECT_GE(sw.millis(), 15.0);
+}
+
+TEST(StopwatchTest, ResetRestartsClock) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 0.015);
+}
+
+TEST(StopwatchTest, MonotoneNonNegative) {
+  Stopwatch sw;
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = sw.seconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace pushpart

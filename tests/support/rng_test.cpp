@@ -1,0 +1,120 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace pushpart {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(123);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  // Each bucket expects 10000; allow ±5% (≈16 sigma, effectively never flaky).
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 95 / 100);
+    EXPECT_LT(c, kDraws / kBuckets * 105 / 100);
+  }
+}
+
+TEST(RngTest, RangeInclusiveBounds) {
+  Rng rng(9);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= (v == -3);
+    sawHi |= (v == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, RangeSingleton) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(RngTest, RealInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.real();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(99);
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (s0() == s1()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(5), b(5);
+  Rng sa = a.split(3), sb = b.split(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sa(), sb());
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,53 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.addRow({"x", "1"});
+  t.addRow({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header row, rule, two data rows.
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("x           1"), std::string::npos);
+  EXPECT_NE(out.find("longer     22"), std::string::npos);
+}
+
+TEST(TableTest, NumericRowHelper) {
+  Table t({"label", "a", "b"});
+  t.addRow("row1", {1.5, 2.0});
+  EXPECT_EQ(t.rows(), 1u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.5"), std::string::npos);
+}
+
+TEST(TableTest, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"just-one"}), CheckError);
+}
+
+TEST(TableTest, EmptyHeaderRejected) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), CheckError);
+}
+
+TEST(TableTest, RuleSpansAllColumns) {
+  Table t({"ab", "cd"});
+  t.addRow({"1", "2"});
+  std::ostringstream os;
+  t.print(os);
+  // Rule length = 2 + 2 (widths) + 2 (gutter) = 6 dashes.
+  EXPECT_NE(os.str().find("------"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pushpart

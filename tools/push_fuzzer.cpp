@@ -1,0 +1,157 @@
+// push_fuzzer — long-running counterexample hunter for Postulate 1.
+//
+// The paper's evidence for Postulate 1 ("no arrangement exists that the Push
+// cannot improve, except the archetypes of Fig. 5") is volume of testing:
+// ~10,000 randomized DFA runs per ratio. This tool industrialises that
+// hunt: it runs randomized condensations across random ratios, grid sizes
+// and start-state styles until a time/run budget expires, classifies every
+// condensed output, validates the engine's invariants along the way, and
+// dumps any Unknown shape (a counterexample candidate) to disk for forensic
+// inspection with `pushpart classify`.
+//
+//   ./push_fuzzer [--seconds=30] [--max-runs=0 (unlimited)] [--seed=1]
+//                 [--min-n=24] [--max-n=96] [--threads=0]
+//                 [--dump-dir=.] [--validate-every=50]
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dfa/dfa.hpp"
+#include "grid/builder.hpp"
+#include "grid/serialize.hpp"
+#include "shapes/archetype.hpp"
+#include "shapes/transform.hpp"
+#include "support/flags.hpp"
+#include "support/stopwatch.hpp"
+
+using namespace pushpart;
+
+namespace {
+
+Ratio randomRatio(Rng& rng) {
+  // P_r in [1, 12], R_r in [1, P_r], S_r = 1 — covering and exceeding the
+  // paper's eleven ratios.
+  const double p = 1.0 + rng.real() * 11.0;
+  const double r = 1.0 + rng.real() * (p - 1.0);
+  return Ratio{p, r, 1.0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double seconds = flags.f64("seconds", 30.0);
+  const auto maxRuns = flags.i64("max-runs", 0);
+  const auto seed = static_cast<std::uint64_t>(flags.i64("seed", 1));
+  const int minN = static_cast<int>(flags.i64("min-n", 24));
+  const int maxN = static_cast<int>(flags.i64("max-n", 96));
+  const std::string dumpDir = flags.str("dump-dir", ".");
+  const auto validateEvery = flags.i64("validate-every", 50);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int threads = static_cast<int>(
+      flags.i64("threads", 0) > 0 ? flags.i64("threads", 0)
+                                  : (hw > 0 ? hw : 2));
+
+  std::printf("push_fuzzer: hunting Postulate 1 counterexamples for %.0f s "
+              "on %d threads (n in [%d, %d])\n",
+              seconds, threads, minN, maxN);
+
+  Stopwatch wall;
+  std::atomic<std::int64_t> runs{0};
+  std::atomic<std::int64_t> pushes{0};
+  std::atomic<int> unknowns{0};
+  std::atomic<int> dominanceViolations{0};
+  std::atomic<bool> stop{false};
+  std::mutex reportMutex;
+  int tally[kNumArchetypes] = {};
+
+  const Rng master(seed);
+  auto worker = [&](int workerIndex) {
+    Rng rng = master.split(static_cast<std::uint64_t>(workerIndex));
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t run = runs.fetch_add(1);
+      if ((maxRuns > 0 && run >= maxRuns) || wall.seconds() >= seconds) {
+        stop = true;
+        break;
+      }
+      const int n =
+          minN + static_cast<int>(rng.below(
+                     static_cast<std::uint64_t>(maxN - minN + 1)));
+      const Ratio ratio = randomRatio(rng);
+      const Schedule schedule = Schedule::random(rng);
+      Partition q0 = rng.chance(0.3)
+                         ? randomClusteredPartition(n, ratio, rng)
+                         : randomPartition(n, ratio, rng);
+      const DfaResult result = runDfa(std::move(q0), schedule, {});
+      pushes += result.pushesApplied;
+
+      if (validateEvery > 0 && run % validateEvery == 0)
+        result.final.validateCounters();
+
+      const ArchetypeInfo info = classifyArchetype(result.final);
+      {
+        std::lock_guard<std::mutex> lock(reportMutex);
+        ++tally[static_cast<int>(info.archetype)];
+      }
+      if (info.archetype == Archetype::Unknown) {
+        const int id = unknowns.fetch_add(1);
+        const std::string path =
+            dumpDir + "/counterexample_" + std::to_string(id) + ".pp";
+        savePartition(result.final, path);
+        // The form of Postulate 1 the paper's conclusions rely on: a locked
+        // non-archetype state must never *undercut* the canonical
+        // candidates. If reduceToArchetypeA fails, this state communicates
+        // less than every candidate — a refutation, not just a locked shape.
+        Partition reduced = result.final;
+        const auto reduction = reduceToArchetypeA(reduced, ratio);
+        std::lock_guard<std::mutex> lock(reportMutex);
+        std::printf("UNKNOWN shape! n=%d ratio=%s schedule=[%s] -> %s\n",
+                    n, ratio.str().c_str(), schedule.str().c_str(),
+                    path.c_str());
+        std::printf("  %s\n", info.str().c_str());
+        if (reduction.has_value()) {
+          std::printf(
+              "  locked state, but candidate %s dominates (VoC %lld <= "
+              "%lld) — weak Postulate 1 holds\n",
+              candidateName(reduction->shape),
+              static_cast<long long>(reduction->vocAfter),
+              static_cast<long long>(reduction->vocBefore));
+        } else {
+          std::printf(
+              "  !!! state UNDERCUTS every canonical candidate — candidate-"
+              "optimality refutation, please report\n");
+          dominanceViolations.fetch_add(1);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& th : pool) th.join();
+
+  std::printf("\n%lld runs, %lld pushes in %.1f s\n",
+              static_cast<long long>(runs.load()),
+              static_cast<long long>(pushes.load()), wall.seconds());
+  for (int a = 0; a < kNumArchetypes; ++a)
+    std::printf("  %-8s %d\n", archetypeName(static_cast<Archetype>(a)),
+                tally[a]);
+  if (unknowns.load() == 0) {
+    std::printf("no counterexample found — Postulate 1 survives this hunt\n");
+    return 0;
+  }
+  std::printf("%d locked non-archetype state(s) dumped — inspect with "
+              "`pushpart classify --in=<file>`\n",
+              unknowns.load());
+  if (dominanceViolations.load() > 0) {
+    std::printf("%d state(s) UNDERCUT the canonical candidates — "
+                "optimality refutation!\n",
+                dominanceViolations.load());
+    return 2;
+  }
+  std::printf("every locked state was dominated by a canonical candidate — "
+              "the weak form of Postulate 1 holds\n");
+  return 1;
+}

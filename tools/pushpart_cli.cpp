@@ -1,0 +1,190 @@
+// pushpart — command-line front end to the partition-shape library.
+//
+//   pushpart search    --n=60 --ratio=5:2:1 [--seed=1] [--out=shape.pp]
+//   pushpart classify  --in=shape.pp
+//   pushpart voc       --in=shape.pp
+//   pushpart recommend --n=120 --ratio=10:1:1 [--algo=SCB] [--topology=full]
+//                      [--bandwidth-mbs=1000] [--flops=1e9] [--out=shape.pp]
+//   pushpart plan      --in=shape.pp [--csv=plan.csv]
+//
+// `search` runs one randomized DFA condensation and (optionally) saves the
+// condensed partition in the pushpart-partition v1 text format; `classify`,
+// `voc` and `plan` operate on saved partitions; `recommend` ranks the six
+// canonical candidates for a machine and can save the winner.
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "dfa/dfa.hpp"
+#include "grid/builder.hpp"
+#include "grid/metrics.hpp"
+#include "grid/render.hpp"
+#include "grid/serialize.hpp"
+#include "model/optimal.hpp"
+#include "plan/comm_plan.hpp"
+#include "shapes/archetype.hpp"
+#include "support/csv.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+using namespace pushpart;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: pushpart <command> [flags]\n"
+      "  search    --n=60 --ratio=5:2:1 [--seed=1] [--out=shape.pp]\n"
+      "  classify  --in=shape.pp\n"
+      "  voc       --in=shape.pp\n"
+      "  recommend --n=120 --ratio=10:1:1 [--algo=SCB] [--topology=full|star]\n"
+      "            [--bandwidth-mbs=1000] [--flops=1e9] [--out=shape.pp]\n"
+      "  plan      --in=shape.pp [--csv=plan.csv]\n";
+  return 2;
+}
+
+Partition loadInput(const Flags& flags) {
+  const std::string path = flags.str("in", "");
+  if (path.empty()) throw std::invalid_argument("missing --in=<file>");
+  return loadPartition(path);
+}
+
+int cmdSearch(const Flags& flags) {
+  const int n = static_cast<int>(flags.i64("n", 60));
+  const Ratio ratio = Ratio::parse(flags.str("ratio", "5:2:1"));
+  Rng rng(static_cast<std::uint64_t>(flags.i64("seed", 1)));
+  const Schedule schedule = Schedule::random(rng);
+  const DfaResult result =
+      runDfa(randomPartition(n, ratio, rng), schedule, {});
+
+  std::cout << "schedule: " << schedule.str() << "\n";
+  std::printf("pushes: %lld   VoC %lld -> %lld   stop: %s\n",
+              static_cast<long long>(result.pushesApplied),
+              static_cast<long long>(result.vocStart),
+              static_cast<long long>(result.vocEnd),
+              dfaStopName(result.stop));
+  std::cout << classifyArchetype(result.final).str() << "\n";
+  std::cout << renderAscii(result.final, 40);
+
+  const std::string out = flags.str("out", "");
+  if (!out.empty()) {
+    savePartition(result.final, out);
+    std::cout << "saved to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmdClassify(const Flags& flags) {
+  const Partition q = loadInput(flags);
+  std::cout << classifyArchetype(q).str() << "\n";
+  std::cout << renderAscii(q, 40);
+  return 0;
+}
+
+int cmdVoc(const Flags& flags) {
+  const Partition q = loadInput(flags);
+  std::cout << summaryLine(q) << "\n";
+  const auto v = pairVolumes(q);
+  Table table({"from\\to", "R", "S", "P"});
+  for (Proc s : kAllProcs) {
+    table.addRow(std::string(1, procName(s)),
+                 {static_cast<double>(v[procSlot(s)][procSlot(Proc::R)]),
+                  static_cast<double>(v[procSlot(s)][procSlot(Proc::S)]),
+                  static_cast<double>(v[procSlot(s)][procSlot(Proc::P)])});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmdRecommend(const Flags& flags) {
+  const int n = static_cast<int>(flags.i64("n", 120));
+  Machine machine;
+  machine.ratio = Ratio::parse(flags.str("ratio", "10:1:1"));
+  machine.sendElementSeconds =
+      8.0 / (flags.f64("bandwidth-mbs", 1000.0) * 1e6);
+  machine.baseFlopSeconds = 1.0 / flags.f64("flops", 1e9);
+  const std::string algoStr = flags.str("algo", "SCB");
+  Algo algo = Algo::kSCB;
+  bool known = false;
+  for (Algo a : kAllAlgos)
+    if (algoStr == algoName(a)) {
+      algo = a;
+      known = true;
+    }
+  if (!known) throw std::invalid_argument("unknown --algo=" + algoStr);
+  const Topology topology = flags.str("topology", "full") == "star"
+                                ? Topology::kStar
+                                : Topology::kFullyConnected;
+
+  const auto ranked = rankCandidates(algo, n, machine, topology);
+  Table table({"shape", "VoC", "exec (s)"});
+  for (const auto& r : ranked)
+    table.addRow(candidateName(r.shape),
+                 {static_cast<double>(r.voc), r.model.execSeconds});
+  table.print(std::cout);
+  if (ranked.empty()) {
+    std::cerr << "no feasible candidate\n";
+    return 1;
+  }
+  std::cout << "\nrecommended: " << candidateName(ranked.front().shape) << "\n";
+  const std::string out = flags.str("out", "");
+  if (!out.empty()) {
+    savePartition(makeCandidate(ranked.front().shape, n, machine.ratio), out);
+    std::cout << "saved to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmdPlan(const Flags& flags) {
+  const Partition q = loadInput(flags);
+  const auto plan = buildElementPlan(q);
+  if (!verifyElementPlan(q, plan)) {
+    std::cerr << "internal error: generated plan failed verification\n";
+    return 1;
+  }
+  const auto v = planVolumes(plan);
+  std::int64_t total = 0;
+  for (const auto& row : v)
+    for (auto x : row) total += x;
+  std::printf("pivots: %d   transfers: %lld (== VoC %lld)   verified: yes\n",
+              q.n(), static_cast<long long>(total),
+              static_cast<long long>(q.volumeOfCommunication()));
+
+  if (flags.has("csv")) {
+    CsvWriter csv(flags.str("csv", ""),
+                  {"pivot", "kind", "i", "j", "from", "to"});
+    for (const auto& step : plan) {
+      for (const auto& t : step.aColumn)
+        csv.row({std::to_string(step.pivot), "A", std::to_string(t.i),
+                 std::to_string(t.j), std::string(1, procName(t.from)),
+                 std::string(1, procName(t.to))});
+      for (const auto& t : step.bRow)
+        csv.row({std::to_string(step.pivot), "B", std::to_string(t.i),
+                 std::to_string(t.j), std::string(1, procName(t.from)),
+                 std::string(1, procName(t.to))});
+    }
+    std::cout << "plan written to " << flags.str("csv", "") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  try {
+    if (command == "search") return cmdSearch(flags);
+    if (command == "classify") return cmdClassify(flags);
+    if (command == "voc") return cmdVoc(flags);
+    if (command == "recommend") return cmdRecommend(flags);
+    if (command == "plan") return cmdPlan(flags);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
