@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidates_matrix.dir/candidates_matrix.cpp.o"
+  "CMakeFiles/candidates_matrix.dir/candidates_matrix.cpp.o.d"
+  "candidates_matrix"
+  "candidates_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidates_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_mmm.dir/exec_mmm.cpp.o"
+  "CMakeFiles/exec_mmm.dir/exec_mmm.cpp.o.d"
+  "exec_mmm"
+  "exec_mmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_mmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_surface.dir/fig13_surface.cpp.o"
+  "CMakeFiles/fig13_surface.dir/fig13_surface.cpp.o.d"
+  "fig13_surface"
+  "fig13_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

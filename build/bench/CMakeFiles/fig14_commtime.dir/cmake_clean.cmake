@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_commtime.dir/fig14_commtime.cpp.o"
+  "CMakeFiles/fig14_commtime.dir/fig14_commtime.cpp.o.d"
+  "fig14_commtime"
+  "fig14_commtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_commtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_archetypes.dir/fig5_archetypes.cpp.o"
+  "CMakeFiles/fig5_archetypes.dir/fig5_archetypes.cpp.o.d"
+  "fig5_archetypes"
+  "fig5_archetypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_archetypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_trace.dir/fig7_trace.cpp.o"
+  "CMakeFiles/fig7_trace.dir/fig7_trace.cpp.o.d"
+  "fig7_trace"
+  "fig7_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_ablation.dir/latency_ablation.cpp.o"
+  "CMakeFiles/latency_ablation.dir/latency_ablation.cpp.o.d"
+  "latency_ablation"
+  "latency_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_push.dir/micro_push.cpp.o"
+  "CMakeFiles/micro_push.dir/micro_push.cpp.o.d"
+  "micro_push"
+  "micro_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nproc_explore.dir/nproc_explore.cpp.o"
+  "CMakeFiles/nproc_explore.dir/nproc_explore.cpp.o.d"
+  "nproc_explore"
+  "nproc_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nproc_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

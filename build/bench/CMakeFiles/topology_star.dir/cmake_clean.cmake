@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_star.dir/topology_star.cpp.o"
+  "CMakeFiles/topology_star.dir/topology_star.cpp.o.d"
+  "topology_star"
+  "topology_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

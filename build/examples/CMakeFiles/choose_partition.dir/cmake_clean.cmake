@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choose_partition.dir/choose_partition.cpp.o"
+  "CMakeFiles/choose_partition.dir/choose_partition.cpp.o.d"
+  "choose_partition"
+  "choose_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choose_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

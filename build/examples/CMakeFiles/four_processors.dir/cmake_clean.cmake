@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_processors.dir/four_processors.cpp.o"
+  "CMakeFiles/four_processors.dir/four_processors.cpp.o.d"
+  "four_processors"
+  "four_processors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

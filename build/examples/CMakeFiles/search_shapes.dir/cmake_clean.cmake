@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_shapes.dir/search_shapes.cpp.o"
+  "CMakeFiles/search_shapes.dir/search_shapes.cpp.o.d"
+  "search_shapes"
+  "search_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

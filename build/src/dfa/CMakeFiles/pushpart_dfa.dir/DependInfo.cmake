@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfa/batch.cpp" "src/dfa/CMakeFiles/pushpart_dfa.dir/batch.cpp.o" "gcc" "src/dfa/CMakeFiles/pushpart_dfa.dir/batch.cpp.o.d"
+  "/root/repo/src/dfa/dfa.cpp" "src/dfa/CMakeFiles/pushpart_dfa.dir/dfa.cpp.o" "gcc" "src/dfa/CMakeFiles/pushpart_dfa.dir/dfa.cpp.o.d"
+  "/root/repo/src/dfa/schedule.cpp" "src/dfa/CMakeFiles/pushpart_dfa.dir/schedule.cpp.o" "gcc" "src/dfa/CMakeFiles/pushpart_dfa.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/push/CMakeFiles/pushpart_push.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/pushpart_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pushpart_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpart_dfa.dir/batch.cpp.o"
+  "CMakeFiles/pushpart_dfa.dir/batch.cpp.o.d"
+  "CMakeFiles/pushpart_dfa.dir/dfa.cpp.o"
+  "CMakeFiles/pushpart_dfa.dir/dfa.cpp.o.d"
+  "CMakeFiles/pushpart_dfa.dir/schedule.cpp.o"
+  "CMakeFiles/pushpart_dfa.dir/schedule.cpp.o.d"
+  "libpushpart_dfa.a"
+  "libpushpart_dfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpart_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpart_exec.dir/kij_executor.cpp.o"
+  "CMakeFiles/pushpart_exec.dir/kij_executor.cpp.o.d"
+  "CMakeFiles/pushpart_exec.dir/matrix.cpp.o"
+  "CMakeFiles/pushpart_exec.dir/matrix.cpp.o.d"
+  "CMakeFiles/pushpart_exec.dir/throttle.cpp.o"
+  "CMakeFiles/pushpart_exec.dir/throttle.cpp.o.d"
+  "libpushpart_exec.a"
+  "libpushpart_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpart_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/builder.cpp" "src/grid/CMakeFiles/pushpart_grid.dir/builder.cpp.o" "gcc" "src/grid/CMakeFiles/pushpart_grid.dir/builder.cpp.o.d"
+  "/root/repo/src/grid/metrics.cpp" "src/grid/CMakeFiles/pushpart_grid.dir/metrics.cpp.o" "gcc" "src/grid/CMakeFiles/pushpart_grid.dir/metrics.cpp.o.d"
+  "/root/repo/src/grid/partition.cpp" "src/grid/CMakeFiles/pushpart_grid.dir/partition.cpp.o" "gcc" "src/grid/CMakeFiles/pushpart_grid.dir/partition.cpp.o.d"
+  "/root/repo/src/grid/ratio.cpp" "src/grid/CMakeFiles/pushpart_grid.dir/ratio.cpp.o" "gcc" "src/grid/CMakeFiles/pushpart_grid.dir/ratio.cpp.o.d"
+  "/root/repo/src/grid/render.cpp" "src/grid/CMakeFiles/pushpart_grid.dir/render.cpp.o" "gcc" "src/grid/CMakeFiles/pushpart_grid.dir/render.cpp.o.d"
+  "/root/repo/src/grid/serialize.cpp" "src/grid/CMakeFiles/pushpart_grid.dir/serialize.cpp.o" "gcc" "src/grid/CMakeFiles/pushpart_grid.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pushpart_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpart_grid.dir/builder.cpp.o"
+  "CMakeFiles/pushpart_grid.dir/builder.cpp.o.d"
+  "CMakeFiles/pushpart_grid.dir/metrics.cpp.o"
+  "CMakeFiles/pushpart_grid.dir/metrics.cpp.o.d"
+  "CMakeFiles/pushpart_grid.dir/partition.cpp.o"
+  "CMakeFiles/pushpart_grid.dir/partition.cpp.o.d"
+  "CMakeFiles/pushpart_grid.dir/ratio.cpp.o"
+  "CMakeFiles/pushpart_grid.dir/ratio.cpp.o.d"
+  "CMakeFiles/pushpart_grid.dir/render.cpp.o"
+  "CMakeFiles/pushpart_grid.dir/render.cpp.o.d"
+  "CMakeFiles/pushpart_grid.dir/serialize.cpp.o"
+  "CMakeFiles/pushpart_grid.dir/serialize.cpp.o.d"
+  "libpushpart_grid.a"
+  "libpushpart_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpart_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/closed_form.cpp" "src/model/CMakeFiles/pushpart_model.dir/closed_form.cpp.o" "gcc" "src/model/CMakeFiles/pushpart_model.dir/closed_form.cpp.o.d"
+  "/root/repo/src/model/geometry.cpp" "src/model/CMakeFiles/pushpart_model.dir/geometry.cpp.o" "gcc" "src/model/CMakeFiles/pushpart_model.dir/geometry.cpp.o.d"
+  "/root/repo/src/model/models.cpp" "src/model/CMakeFiles/pushpart_model.dir/models.cpp.o" "gcc" "src/model/CMakeFiles/pushpart_model.dir/models.cpp.o.d"
+  "/root/repo/src/model/optimal.cpp" "src/model/CMakeFiles/pushpart_model.dir/optimal.cpp.o" "gcc" "src/model/CMakeFiles/pushpart_model.dir/optimal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/pushpart_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/shapes/CMakeFiles/pushpart_shapes.dir/DependInfo.cmake"
+  "/root/repo/build/src/push/CMakeFiles/pushpart_push.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pushpart_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpart_model.dir/closed_form.cpp.o"
+  "CMakeFiles/pushpart_model.dir/closed_form.cpp.o.d"
+  "CMakeFiles/pushpart_model.dir/geometry.cpp.o"
+  "CMakeFiles/pushpart_model.dir/geometry.cpp.o.d"
+  "CMakeFiles/pushpart_model.dir/models.cpp.o"
+  "CMakeFiles/pushpart_model.dir/models.cpp.o.d"
+  "CMakeFiles/pushpart_model.dir/optimal.cpp.o"
+  "CMakeFiles/pushpart_model.dir/optimal.cpp.o.d"
+  "libpushpart_model.a"
+  "libpushpart_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpart_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

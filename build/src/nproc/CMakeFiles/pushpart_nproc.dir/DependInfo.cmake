@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nproc/npartition.cpp" "src/nproc/CMakeFiles/pushpart_nproc.dir/npartition.cpp.o" "gcc" "src/nproc/CMakeFiles/pushpart_nproc.dir/npartition.cpp.o.d"
+  "/root/repo/src/nproc/npush.cpp" "src/nproc/CMakeFiles/pushpart_nproc.dir/npush.cpp.o" "gcc" "src/nproc/CMakeFiles/pushpart_nproc.dir/npush.cpp.o.d"
+  "/root/repo/src/nproc/nsearch.cpp" "src/nproc/CMakeFiles/pushpart_nproc.dir/nsearch.cpp.o" "gcc" "src/nproc/CMakeFiles/pushpart_nproc.dir/nsearch.cpp.o.d"
+  "/root/repo/src/nproc/nshapes.cpp" "src/nproc/CMakeFiles/pushpart_nproc.dir/nshapes.cpp.o" "gcc" "src/nproc/CMakeFiles/pushpart_nproc.dir/nshapes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/pushpart_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/push/CMakeFiles/pushpart_push.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pushpart_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpart_nproc.dir/npartition.cpp.o"
+  "CMakeFiles/pushpart_nproc.dir/npartition.cpp.o.d"
+  "CMakeFiles/pushpart_nproc.dir/npush.cpp.o"
+  "CMakeFiles/pushpart_nproc.dir/npush.cpp.o.d"
+  "CMakeFiles/pushpart_nproc.dir/nsearch.cpp.o"
+  "CMakeFiles/pushpart_nproc.dir/nsearch.cpp.o.d"
+  "CMakeFiles/pushpart_nproc.dir/nshapes.cpp.o"
+  "CMakeFiles/pushpart_nproc.dir/nshapes.cpp.o.d"
+  "libpushpart_nproc.a"
+  "libpushpart_nproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpart_nproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

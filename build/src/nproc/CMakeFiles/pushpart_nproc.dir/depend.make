@@ -1,0 +1,2 @@
+# Empty dependencies file for pushpart_nproc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpart_plan.dir/comm_plan.cpp.o"
+  "CMakeFiles/pushpart_plan.dir/comm_plan.cpp.o.d"
+  "libpushpart_plan.a"
+  "libpushpart_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpart_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

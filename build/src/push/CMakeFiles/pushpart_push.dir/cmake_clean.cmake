@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpart_push.dir/beautify.cpp.o"
+  "CMakeFiles/pushpart_push.dir/beautify.cpp.o.d"
+  "CMakeFiles/pushpart_push.dir/push.cpp.o"
+  "CMakeFiles/pushpart_push.dir/push.cpp.o.d"
+  "libpushpart_push.a"
+  "libpushpart_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpart_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpushpart_push.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shapes/archetype.cpp" "src/shapes/CMakeFiles/pushpart_shapes.dir/archetype.cpp.o" "gcc" "src/shapes/CMakeFiles/pushpart_shapes.dir/archetype.cpp.o.d"
+  "/root/repo/src/shapes/candidates.cpp" "src/shapes/CMakeFiles/pushpart_shapes.dir/candidates.cpp.o" "gcc" "src/shapes/CMakeFiles/pushpart_shapes.dir/candidates.cpp.o.d"
+  "/root/repo/src/shapes/corners.cpp" "src/shapes/CMakeFiles/pushpart_shapes.dir/corners.cpp.o" "gcc" "src/shapes/CMakeFiles/pushpart_shapes.dir/corners.cpp.o.d"
+  "/root/repo/src/shapes/transform.cpp" "src/shapes/CMakeFiles/pushpart_shapes.dir/transform.cpp.o" "gcc" "src/shapes/CMakeFiles/pushpart_shapes.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/pushpart_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/push/CMakeFiles/pushpart_push.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pushpart_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

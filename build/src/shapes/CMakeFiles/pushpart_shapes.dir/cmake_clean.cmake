@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpart_shapes.dir/archetype.cpp.o"
+  "CMakeFiles/pushpart_shapes.dir/archetype.cpp.o.d"
+  "CMakeFiles/pushpart_shapes.dir/candidates.cpp.o"
+  "CMakeFiles/pushpart_shapes.dir/candidates.cpp.o.d"
+  "CMakeFiles/pushpart_shapes.dir/corners.cpp.o"
+  "CMakeFiles/pushpart_shapes.dir/corners.cpp.o.d"
+  "CMakeFiles/pushpart_shapes.dir/transform.cpp.o"
+  "CMakeFiles/pushpart_shapes.dir/transform.cpp.o.d"
+  "libpushpart_shapes.a"
+  "libpushpart_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpart_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

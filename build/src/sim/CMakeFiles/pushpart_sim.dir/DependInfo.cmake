@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/mmm_sim.cpp" "src/sim/CMakeFiles/pushpart_sim.dir/mmm_sim.cpp.o" "gcc" "src/sim/CMakeFiles/pushpart_sim.dir/mmm_sim.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/pushpart_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/pushpart_sim.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/pushpart_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pushpart_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/shapes/CMakeFiles/pushpart_shapes.dir/DependInfo.cmake"
+  "/root/repo/build/src/push/CMakeFiles/pushpart_push.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pushpart_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

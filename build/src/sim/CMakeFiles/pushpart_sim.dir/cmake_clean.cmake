@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpart_sim.dir/mmm_sim.cpp.o"
+  "CMakeFiles/pushpart_sim.dir/mmm_sim.cpp.o.d"
+  "CMakeFiles/pushpart_sim.dir/network.cpp.o"
+  "CMakeFiles/pushpart_sim.dir/network.cpp.o.d"
+  "libpushpart_sim.a"
+  "libpushpart_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpart_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpart_support.dir/csv.cpp.o"
+  "CMakeFiles/pushpart_support.dir/csv.cpp.o.d"
+  "CMakeFiles/pushpart_support.dir/flags.cpp.o"
+  "CMakeFiles/pushpart_support.dir/flags.cpp.o.d"
+  "CMakeFiles/pushpart_support.dir/log.cpp.o"
+  "CMakeFiles/pushpart_support.dir/log.cpp.o.d"
+  "CMakeFiles/pushpart_support.dir/rng.cpp.o"
+  "CMakeFiles/pushpart_support.dir/rng.cpp.o.d"
+  "CMakeFiles/pushpart_support.dir/table.cpp.o"
+  "CMakeFiles/pushpart_support.dir/table.cpp.o.d"
+  "libpushpart_support.a"
+  "libpushpart_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpart_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfa_test.dir/dfa/batch_test.cpp.o"
+  "CMakeFiles/dfa_test.dir/dfa/batch_test.cpp.o.d"
+  "CMakeFiles/dfa_test.dir/dfa/dfa_test.cpp.o"
+  "CMakeFiles/dfa_test.dir/dfa/dfa_test.cpp.o.d"
+  "CMakeFiles/dfa_test.dir/dfa/schedule_test.cpp.o"
+  "CMakeFiles/dfa_test.dir/dfa/schedule_test.cpp.o.d"
+  "dfa_test"
+  "dfa_test.pdb"
+  "dfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

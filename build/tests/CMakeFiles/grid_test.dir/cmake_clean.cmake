@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_test.dir/grid/builder_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/builder_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/metrics_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/metrics_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/partition_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/partition_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/ratio_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/ratio_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/rect_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/rect_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/render_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/render_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/serialize_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/serialize_test.cpp.o.d"
+  "grid_test"
+  "grid_test.pdb"
+  "grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test.dir/model/closed_form_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/closed_form_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/geometry_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/geometry_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/models_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/models_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/optimal_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/optimal_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/pio_blocked_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/pio_blocked_test.cpp.o.d"
+  "model_test"
+  "model_test.pdb"
+  "model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

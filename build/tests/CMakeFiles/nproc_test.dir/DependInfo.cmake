@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nproc/fourproc_test.cpp" "tests/CMakeFiles/nproc_test.dir/nproc/fourproc_test.cpp.o" "gcc" "tests/CMakeFiles/nproc_test.dir/nproc/fourproc_test.cpp.o.d"
+  "/root/repo/tests/nproc/npartition_test.cpp" "tests/CMakeFiles/nproc_test.dir/nproc/npartition_test.cpp.o" "gcc" "tests/CMakeFiles/nproc_test.dir/nproc/npartition_test.cpp.o.d"
+  "/root/repo/tests/nproc/npush_test.cpp" "tests/CMakeFiles/nproc_test.dir/nproc/npush_test.cpp.o" "gcc" "tests/CMakeFiles/nproc_test.dir/nproc/npush_test.cpp.o.d"
+  "/root/repo/tests/nproc/nsearch_test.cpp" "tests/CMakeFiles/nproc_test.dir/nproc/nsearch_test.cpp.o" "gcc" "tests/CMakeFiles/nproc_test.dir/nproc/nsearch_test.cpp.o.d"
+  "/root/repo/tests/nproc/nshapes_test.cpp" "tests/CMakeFiles/nproc_test.dir/nproc/nshapes_test.cpp.o" "gcc" "tests/CMakeFiles/nproc_test.dir/nproc/nshapes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfa/CMakeFiles/pushpart_dfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pushpart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/pushpart_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pushpart_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/shapes/CMakeFiles/pushpart_shapes.dir/DependInfo.cmake"
+  "/root/repo/build/src/nproc/CMakeFiles/pushpart_nproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/push/CMakeFiles/pushpart_push.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/pushpart_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/pushpart_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pushpart_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

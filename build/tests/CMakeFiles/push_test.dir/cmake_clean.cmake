@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/push_test.dir/push/beautify_test.cpp.o"
+  "CMakeFiles/push_test.dir/push/beautify_test.cpp.o.d"
+  "CMakeFiles/push_test.dir/push/compact_test.cpp.o"
+  "CMakeFiles/push_test.dir/push/compact_test.cpp.o.d"
+  "CMakeFiles/push_test.dir/push/locked_states_test.cpp.o"
+  "CMakeFiles/push_test.dir/push/locked_states_test.cpp.o.d"
+  "CMakeFiles/push_test.dir/push/oriented_test.cpp.o"
+  "CMakeFiles/push_test.dir/push/oriented_test.cpp.o.d"
+  "CMakeFiles/push_test.dir/push/push_test.cpp.o"
+  "CMakeFiles/push_test.dir/push/push_test.cpp.o.d"
+  "push_test"
+  "push_test.pdb"
+  "push_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/push_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

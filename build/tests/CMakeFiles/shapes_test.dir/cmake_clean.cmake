@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapes_test.dir/shapes/archetype_test.cpp.o"
+  "CMakeFiles/shapes_test.dir/shapes/archetype_test.cpp.o.d"
+  "CMakeFiles/shapes_test.dir/shapes/candidates_test.cpp.o"
+  "CMakeFiles/shapes_test.dir/shapes/candidates_test.cpp.o.d"
+  "CMakeFiles/shapes_test.dir/shapes/corners_test.cpp.o"
+  "CMakeFiles/shapes_test.dir/shapes/corners_test.cpp.o.d"
+  "CMakeFiles/shapes_test.dir/shapes/transform_test.cpp.o"
+  "CMakeFiles/shapes_test.dir/shapes/transform_test.cpp.o.d"
+  "shapes_test"
+  "shapes_test.pdb"
+  "shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/push_fuzzer.dir/push_fuzzer.cpp.o"
+  "CMakeFiles/push_fuzzer.dir/push_fuzzer.cpp.o.d"
+  "push_fuzzer"
+  "push_fuzzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/push_fuzzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

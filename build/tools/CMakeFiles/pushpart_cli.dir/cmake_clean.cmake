@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushpart_cli.dir/pushpart_cli.cpp.o"
+  "CMakeFiles/pushpart_cli.dir/pushpart_cli.cpp.o.d"
+  "pushpart"
+  "pushpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
