@@ -66,11 +66,14 @@ int main(int argc, char** argv) {
     options.ratio = ratio;
     int tally[kNumArchetypes] = {};
     std::int64_t pushes = 0;
-    runBatch(options, [&](const BatchRun& run) {
+    const BatchSummary summary = runBatch(options, [&](const BatchRun& run) {
       ++tally[static_cast<int>(
           classifyArchetype(run.result.final).archetype)];
       pushes += run.result.pushesApplied;
     });
+    for (const BatchFailure& f : summary.failures)
+      std::cerr << "ratio " << ratio.str() << " run " << f.runIndex
+                << " failed: " << f.message << "\n";
     totalUnknown += tally[static_cast<int>(Archetype::Unknown)];
     table.addRow(ratio.str(),
                  {static_cast<double>(tally[0]), static_cast<double>(tally[1]),

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
 
   int tally[kNumArchetypes] = {};
   std::int64_t totalPushes = 0;
-  runBatch(options, [&](const BatchRun& run) {
+  const BatchSummary summary = runBatch(options, [&](const BatchRun& run) {
     const ArchetypeInfo info = classifyArchetype(run.result.final);
     ++tally[static_cast<int>(info.archetype)];
     totalPushes += run.result.pushesApplied;
@@ -53,6 +53,8 @@ int main(int argc, char** argv) {
   }
   std::printf("total pushes applied: %lld\n",
               static_cast<long long>(totalPushes));
+  for (const BatchFailure& f : summary.failures)
+    std::fprintf(stderr, "run %d failed: %s\n", f.runIndex, f.message.c_str());
 
   if (trace) {
     std::cout << "\n== Example run trace (Fig. 7 style) ==\n";

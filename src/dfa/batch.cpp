@@ -1,5 +1,6 @@
 #include "dfa/batch.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <thread>
@@ -10,8 +11,8 @@
 
 namespace pushpart {
 
-void runBatch(const BatchOptions& options,
-              const std::function<void(const BatchRun&)>& onResult) {
+BatchSummary runBatch(const BatchOptions& options,
+                      const std::function<void(const BatchRun&)>& onResult) {
   PUSHPART_CHECK(options.runs >= 0);
   PUSHPART_CHECK(options.n > 0);
   PUSHPART_CHECK_MSG(options.ratio.valid(),
@@ -23,17 +24,20 @@ void runBatch(const BatchOptions& options,
                           : static_cast<int>(hw > 0 ? hw : 2);
 
   std::atomic<int> next{0};
+  std::atomic<int> completed{0};
   std::mutex resultMutex;
-  std::exception_ptr firstError;
-  std::mutex errorMutex;
+  std::mutex failureMutex;
+  std::vector<BatchFailure> failures;
 
   const Rng master(options.seed);
 
   auto worker = [&]() {
-    try {
-      for (;;) {
-        const int run = next.fetch_add(1);
-        if (run >= options.runs) return;
+    for (;;) {
+      const int run = next.fetch_add(1);
+      if (run >= options.runs) return;
+      // A failed run — walk or callback — is recorded and skipped; the
+      // worker stays alive and the rest of the batch still runs.
+      try {
         // Independent, reproducible stream per run index.
         Rng rng = master.split(static_cast<std::uint64_t>(run));
 
@@ -45,13 +49,18 @@ void runBatch(const BatchOptions& options,
         BatchRun ctx(run, schedule,
                      runDfa(std::move(q0), schedule, options.dfa));
 
-        std::lock_guard<std::mutex> lock(resultMutex);
-        onResult(ctx);
+        {
+          std::lock_guard<std::mutex> lock(resultMutex);
+          onResult(ctx);
+        }
+        completed.fetch_add(1);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(failureMutex);
+        failures.push_back({run, e.what()});
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(failureMutex);
+        failures.push_back({run, "unknown error"});
       }
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(errorMutex);
-      if (!firstError) firstError = std::current_exception();
-      next.store(options.runs);  // drain remaining work
     }
   };
 
@@ -60,7 +69,12 @@ void runBatch(const BatchOptions& options,
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& th : pool) th.join();
 
-  if (firstError) std::rethrow_exception(firstError);
+  // Thread interleaving decides recording order; report deterministically.
+  std::sort(failures.begin(), failures.end(),
+            [](const BatchFailure& a, const BatchFailure& b) {
+              return a.runIndex < b.runIndex;
+            });
+  return BatchSummary{completed.load(), std::move(failures)};
 }
 
 }  // namespace pushpart

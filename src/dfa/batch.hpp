@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "dfa/dfa.hpp"
 #include "grid/ratio.hpp"
@@ -37,10 +39,30 @@ struct BatchRun {
   DfaResult result;
 };
 
+/// One run that did not finish: the DFA walk or the onResult callback threw.
+struct BatchFailure {
+  int runIndex = 0;
+  std::string message;  ///< what() of the exception (or "unknown error").
+};
+
+/// Batch outcome: how many runs completed and which ones failed. A batch
+/// with failures still ran every other run to completion.
+struct BatchSummary {
+  int completed = 0;
+  std::vector<BatchFailure> failures;  ///< Sorted by runIndex.
+
+  bool allCompleted() const { return failures.empty(); }
+};
+
 /// Executes `options.runs` DFA walks, invoking `onResult` for each completed
 /// run. The callback is serialized (called under a mutex, from worker
 /// threads) so aggregation code needs no locking of its own.
-void runBatch(const BatchOptions& options,
-              const std::function<void(const BatchRun&)>& onResult);
+///
+/// A run that throws — from the walk itself or from `onResult` — is recorded
+/// in the returned summary (index + message) and the batch carries on with
+/// the remaining runs; worker threads never die and nothing is rethrown.
+/// Callers that require a clean batch should check summary.allCompleted().
+BatchSummary runBatch(const BatchOptions& options,
+                      const std::function<void(const BatchRun&)>& onResult);
 
 }  // namespace pushpart

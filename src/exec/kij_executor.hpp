@@ -18,6 +18,7 @@
 #include "grid/partition.hpp"
 #include "model/algo.hpp"
 #include "model/machine.hpp"
+#include "sim/fault.hpp"
 
 namespace pushpart {
 
@@ -30,6 +31,14 @@ struct ExecOptions {
   /// Pace the emulated communication phase with real sleeps (true) or only
   /// account its modeled duration (false, default — keeps tests fast).
   bool paceCommunication = false;
+  /// Fault injection for the emulated communication phase: per-transfer
+  /// drops trigger timeout + backoff + retransmission, extending
+  /// commSeconds. Deterministic in faults.seed. Processor death is not
+  /// supported here (real threads hold the data) — use simulateMMM for
+  /// failover studies; a plan with a death throws CheckError.
+  FaultPlan faults{};
+  /// Timeout/retransmit policy used when `faults` is enabled.
+  RetryPolicy retry{};
 };
 
 struct ExecResult {
@@ -39,6 +48,12 @@ struct ExecResult {
   std::int64_t commElements = 0;  ///< Elements crossing node boundaries.
   double maxAbsError = 0.0;       ///< vs serial reference (0 when verify off).
   bool verified = false;
+  std::int64_t commDropsInjected = 0;  ///< Emulated transfers lost in transit.
+  std::int64_t commRetriesSent = 0;    ///< Retransmissions after a timeout.
+  /// False when some transfer ran out of retry attempts (its share of the
+  /// data is then assumed re-synced out of band; the compute phase still
+  /// runs so the numerics stay verifiable).
+  bool commCompleted = true;
 };
 
 /// Runs one parallel MMM of random n×n matrices partitioned by `q` under

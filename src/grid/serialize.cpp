@@ -29,14 +29,45 @@ Partition loadPartition(std::istream& is) {
   std::getline(is, nline);
   std::istringstream nparse(nline);
   std::string key;
-  int n = 0;
-  nparse >> key >> n;
-  if (key != "n" || n <= 0)
+  long long n = 0;
+  if (!(nparse >> key >> n) || key != "n")
     throw std::runtime_error("loadPartition: bad size line '" + nline + "'");
+  std::string trailing;
+  if (nparse >> trailing)
+    throw std::runtime_error("loadPartition: trailing junk '" + trailing +
+                             "' in size line '" + nline + "'");
+  if (n <= 0)
+    throw std::runtime_error("loadPartition: n must be positive, got " +
+                             std::to_string(n));
+  // A malformed or hostile header must not drive an O(n²) allocation:
+  // 16384² cells (256M) is already far beyond any realistic partition file.
+  constexpr long long kMaxN = 16384;
+  if (n > kMaxN)
+    throw std::runtime_error("loadPartition: n " + std::to_string(n) +
+                             " exceeds the supported maximum " +
+                             std::to_string(kMaxN));
   std::string art, line;
-  for (int i = 0; i < n; ++i) {
+  for (long long i = 0; i < n; ++i) {
     if (!std::getline(is, line))
-      throw std::runtime_error("loadPartition: truncated grid");
+      throw std::runtime_error("loadPartition: truncated grid (got " +
+                               std::to_string(i) + " of " + std::to_string(n) +
+                               " rows)");
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t'))
+      line.pop_back();
+    if (static_cast<long long>(line.size()) != n)
+      throw std::runtime_error(
+          "loadPartition: row " + std::to_string(i) + " has " +
+          std::to_string(line.size()) + " cells, expected " +
+          std::to_string(n));
+    for (std::size_t j = 0; j < line.size(); ++j) {
+      const char c = line[j];
+      if (c != 'P' && c != 'R' && c != 'S')
+        throw std::runtime_error(
+            "loadPartition: invalid cell '" + std::string(1, c) + "' at row " +
+            std::to_string(i) + ", column " + std::to_string(j) +
+            " (expected P, R or S)");
+    }
     art += line;
     art += '\n';
   }

@@ -3,13 +3,19 @@
 #include <set>
 #include <tuple>
 
+#include "support/check.hpp"
+
 namespace pushpart {
 
-std::vector<PivotTransfers> buildElementPlan(const Partition& q) {
+std::vector<PivotTransfers> buildElementPlanRange(const Partition& q,
+                                                  int firstPivot) {
   const int n = q.n();
+  PUSHPART_CHECK_MSG(firstPivot >= 0 && firstPivot <= n,
+                     "firstPivot " << firstPivot << " outside [0, " << n
+                                   << "]");
   std::vector<PivotTransfers> plan;
-  plan.reserve(static_cast<std::size_t>(n));
-  for (int k = 0; k < n; ++k) {
+  plan.reserve(static_cast<std::size_t>(n - firstPivot));
+  for (int k = firstPivot; k < n; ++k) {
     PivotTransfers step;
     step.pivot = k;
     // A(i, k): needed by every processor computing C cells in row i.
@@ -33,6 +39,10 @@ std::vector<PivotTransfers> buildElementPlan(const Partition& q) {
   return plan;
 }
 
+std::vector<PivotTransfers> buildElementPlan(const Partition& q) {
+  return buildElementPlanRange(q, 0);
+}
+
 std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> planVolumes(
     const std::vector<PivotTransfers>& plan) {
   std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> v{};
@@ -45,18 +55,45 @@ std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> planVolumes(
   return v;
 }
 
-bool verifyElementPlan(const Partition& q,
-                       const std::vector<PivotTransfers>& plan) {
+namespace {
+
+/// Directed volumes the suffix [firstPivot, N) requires, recounted from
+/// per-line occupancy (independently of any plan).
+std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> rangeVolumes(
+    const Partition& q, int firstPivot) {
+  std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> v{};
   const int n = q.n();
-  if (static_cast<int>(plan.size()) != n) return false;
+  for (int k = firstPivot; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      const Proc owner = q.at(i, k);
+      for (Proc r : kAllProcs)
+        if (r != owner && q.rowHas(r, i)) ++v[procSlot(owner)][procSlot(r)];
+    }
+    for (int j = 0; j < n; ++j) {
+      const Proc owner = q.at(k, j);
+      for (Proc r : kAllProcs)
+        if (r != owner && q.colHas(r, j)) ++v[procSlot(owner)][procSlot(r)];
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+bool verifyElementPlanRange(const Partition& q,
+                            const std::vector<PivotTransfers>& plan,
+                            int firstPivot) {
+  const int n = q.n();
+  if (firstPivot < 0 || firstPivot > n) return false;
+  if (static_cast<int>(plan.size()) != n - firstPivot) return false;
 
   // (1) Validity: coordinates match the pivot, senders own what they send,
   // receivers genuinely need it, nobody is sent their own data.
   // (2) Uniqueness: no duplicate deliveries.
   // Kind 0 = A-column transfer, kind 1 = B-row transfer.
   std::set<std::tuple<int, int, int, int>> seen;  // (kind, pivot, line, to)
-  for (int k = 0; k < n; ++k) {
-    const PivotTransfers& step = plan[static_cast<std::size_t>(k)];
+  for (int k = firstPivot; k < n; ++k) {
+    const PivotTransfers& step = plan[static_cast<std::size_t>(k - firstPivot)];
     if (step.pivot != k) return false;
     for (const ElementTransfer& t : step.aColumn) {
       if (t.j != k) return false;
@@ -75,10 +112,21 @@ bool verifyElementPlan(const Partition& q,
   }
 
   // (3) Completeness: valid + unique transfers are a subset of the needed
-  // set, so matching the directed pair volumes exactly implies equality.
+  // set, so matching the directed volumes of the pivot range exactly
+  // implies equality.
   const auto got = planVolumes(plan);
-  const auto want = pairVolumes(q);
-  return got == want;
+  const auto want = rangeVolumes(q, firstPivot);
+  if (got != want) return false;
+  if (firstPivot == 0) {
+    // Full-range cross-check against the O(1)-maintained Eq. 1 volumes.
+    if (want != pairVolumes(q)) return false;
+  }
+  return true;
+}
+
+bool verifyElementPlan(const Partition& q,
+                       const std::vector<PivotTransfers>& plan) {
+  return verifyElementPlanRange(q, plan, 0);
 }
 
 }  // namespace pushpart

@@ -47,6 +47,14 @@ struct PivotTransfers {
 /// bulk algorithms (SCB/PCB/SCO/PCO) concatenate all entries up front.
 std::vector<PivotTransfers> buildElementPlan(const Partition& q);
 
+/// Schedule for the pivot suffix [firstPivot, N) only — the *failover
+/// epoch* after a mid-run repartition (plan/rebalance.hpp): the surviving
+/// processors replay exactly the remaining pivots under the new ownership.
+/// firstPivot == 0 reproduces buildElementPlan; firstPivot == N is an empty
+/// (trivially complete) plan.
+std::vector<PivotTransfers> buildElementPlanRange(const Partition& q,
+                                                  int firstPivot);
+
 /// Aggregated directed volumes of a plan, indexed [from][to].
 std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> planVolumes(
     const std::vector<PivotTransfers>& plan);
@@ -57,5 +65,14 @@ std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> planVolumes(
 /// O(N²·procs) using per-line occupancy, not O(N³).
 bool verifyElementPlan(const Partition& q,
                        const std::vector<PivotTransfers>& plan);
+
+/// Range-restricted soundness check for a failover epoch: the plan must
+/// cover the pivots [firstPivot, N) of `q` exactly — same validity,
+/// uniqueness and completeness rules as verifyElementPlan, with expected
+/// volumes recounted over the suffix only. firstPivot == 0 is equivalent to
+/// verifyElementPlan.
+bool verifyElementPlanRange(const Partition& q,
+                            const std::vector<PivotTransfers>& plan,
+                            int firstPivot);
 
 }  // namespace pushpart

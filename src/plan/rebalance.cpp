@@ -1,0 +1,153 @@
+#include "plan/rebalance.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "push/push.hpp"
+#include "support/check.hpp"
+
+namespace pushpart {
+namespace {
+
+/// Condenses `q` by repeatedly applying strictly VoC-decreasing pushes to
+/// the surviving slow processors. allowEqualVoC=false means every applied
+/// push lowers the (integer, bounded-below) VoC, so the sweep terminates.
+void condense(Partition& q, Proc dead) {
+  const PushOptions options{.allowEqualVoC = false};
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (Proc active : kSlowProcs) {
+      if (active == dead || q.count(active) == 0) continue;
+      for (Direction dir : kAllDirections) {
+        while (tryPush(q, active, dir, options).applied) improved = true;
+      }
+    }
+  }
+}
+
+/// Row-major list of the cells `dead` owns.
+std::vector<std::pair<int, int>> deadCells(const Partition& q, Proc dead) {
+  std::vector<std::pair<int, int>> cells;
+  cells.reserve(static_cast<std::size_t>(q.count(dead)));
+  const int n = q.n();
+  for (int i = 0; i < n; ++i) {
+    if (!q.rowHas(dead, i)) continue;
+    for (int j = 0; j < n; ++j)
+      if (q.at(i, j) == dead) cells.emplace_back(i, j);
+  }
+  return cells;
+}
+
+/// Banded candidate: the first `quota[s0]` dead cells (row-major) go to the
+/// faster survivor, the rest to the other — contiguous runs keep the
+/// survivors' shapes blocky before condensing.
+Partition bandedCandidate(const Partition& q,
+                          const std::vector<std::pair<int, int>>& cells,
+                          Proc s0, Proc s1, std::int64_t quota0) {
+  Partition out = q;
+  std::int64_t assigned = 0;
+  for (const auto& [i, j] : cells) {
+    out.set(i, j, assigned < quota0 ? s0 : s1);
+    ++assigned;
+  }
+  return out;
+}
+
+/// Greedy candidate: each dead cell goes to whichever quota-holding survivor
+/// yields the lower VoC right now; ties break toward the survivor with more
+/// quota left, then toward the faster survivor.
+Partition greedyCandidate(const Partition& q,
+                          const std::vector<std::pair<int, int>>& cells,
+                          Proc s0, Proc s1, std::int64_t quota0,
+                          std::int64_t quota1) {
+  Partition out = q;
+  std::int64_t left0 = quota0;
+  std::int64_t left1 = quota1;
+  for (const auto& [i, j] : cells) {
+    Proc pick = s0;
+    if (left0 == 0) {
+      pick = s1;
+    } else if (left1 == 0) {
+      pick = s0;
+    } else {
+      out.set(i, j, s0);
+      const std::int64_t voc0 = out.volumeOfCommunication();
+      out.set(i, j, s1);
+      const std::int64_t voc1 = out.volumeOfCommunication();
+      if (voc0 < voc1) pick = s0;
+      else if (voc1 < voc0) pick = s1;
+      else pick = left0 >= left1 ? s0 : s1;
+    }
+    out.set(i, j, pick);
+    if (pick == s0) --left0;
+    else --left1;
+  }
+  return out;
+}
+
+}  // namespace
+
+RebalanceResult rebalanceOnDeath(const Partition& q, Proc dead,
+                                 const Ratio& ratio, int fromPivot) {
+  PUSHPART_CHECK_MSG(ratio.valid(), "invalid speed ratio " << ratio.str());
+  PUSHPART_CHECK_MSG(fromPivot >= 0 && fromPivot <= q.n(),
+                     "fromPivot " << fromPivot << " outside [0, " << q.n()
+                                  << "]");
+
+  // The two survivors, faster first (q-encoding order breaks speed ties).
+  Proc s0 = Proc::P;
+  Proc s1 = Proc::P;
+  bool haveS0 = false;
+  for (Proc p : kAllProcs) {
+    if (p == dead) continue;
+    if (!haveS0) {
+      s0 = p;
+      haveS0 = true;
+    } else {
+      s1 = p;
+    }
+  }
+  if (ratio.speed(s1) > ratio.speed(s0)) std::swap(s0, s1);
+
+  RebalanceResult result;
+  result.dead = dead;
+  result.fromPivot = fromPivot;
+  result.vocBefore = q.volumeOfCommunication();
+  result.reassigned = q.count(dead);
+
+  // Split the dead processor's cells in proportion to survivor speeds; the
+  // faster survivor absorbs the rounding remainder.
+  const double share1 =
+      ratio.speed(s1) / (ratio.speed(s0) + ratio.speed(s1));
+  const std::int64_t quota1 = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(result.reassigned) * share1));
+  const std::int64_t quota0 = result.reassigned - quota1;
+  result.gained[procSlot(s0)] = quota0;
+  result.gained[procSlot(s1)] = quota1;
+
+  const std::vector<std::pair<int, int>> cells = deadCells(q, dead);
+  PUSHPART_CHECK(static_cast<std::int64_t>(cells.size()) ==
+                 result.reassigned);
+
+  Partition banded = bandedCandidate(q, cells, s0, s1, quota0);
+  condense(banded, dead);
+  Partition greedy = greedyCandidate(q, cells, s0, s1, quota0, quota1);
+  condense(greedy, dead);
+
+  result.after = greedy.volumeOfCommunication() <
+                         banded.volumeOfCommunication()
+                     ? std::move(greedy)
+                     : std::move(banded);
+  result.vocAfter = result.after.volumeOfCommunication();
+  PUSHPART_CHECK(result.after.count(dead) == 0);
+  PUSHPART_CHECK(result.after.count(s0) == q.count(s0) + quota0);
+  PUSHPART_CHECK(result.after.count(s1) == q.count(s1) + quota1);
+
+  result.deltaPlan = buildElementPlanRange(result.after, fromPivot);
+  result.deltaPlanVerified =
+      verifyElementPlanRange(result.after, result.deltaPlan, fromPivot);
+  return result;
+}
+
+}  // namespace pushpart

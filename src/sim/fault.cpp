@@ -1,0 +1,99 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pushpart {
+
+void FaultPlan::validate() const {
+  PUSHPART_CHECK_MSG(dropProbability >= 0.0 && dropProbability <= 1.0,
+                     "drop probability must be in [0, 1], got "
+                         << dropProbability);
+  for (const LatencySpike& s : spikes) {
+    PUSHPART_CHECK_MSG(s.begin >= 0.0 && s.end > s.begin,
+                       "latency spike window [" << s.begin << ", " << s.end
+                                                << ") is empty or negative");
+    PUSHPART_CHECK_MSG(s.alphaFactor > 0.0 && s.betaFactor > 0.0,
+                       "latency spike factors must be positive");
+  }
+  for (const NicStall& s : stalls) {
+    PUSHPART_CHECK_MSG(s.at >= 0.0 && s.seconds >= 0.0,
+                       "NIC stall times must be non-negative");
+  }
+  if (death) PUSHPART_CHECK_MSG(death->at >= 0.0, "death time must be >= 0");
+}
+
+void RetryPolicy::validate() const {
+  PUSHPART_CHECK_MSG(maxAttempts >= 1, "need at least one attempt");
+  PUSHPART_CHECK_MSG(timeoutSeconds > 0.0, "timeout must be positive");
+  PUSHPART_CHECK_MSG(backoffSeconds >= 0.0 && backoffMaxSeconds >= 0.0,
+                     "backoff must be non-negative");
+  PUSHPART_CHECK_MSG(backoffFactor >= 1.0, "backoff factor must be >= 1");
+  PUSHPART_CHECK_MSG(jitterFraction >= 0.0 && jitterFraction < 1.0,
+                     "jitter fraction must be in [0, 1), got "
+                         << jitterFraction);
+}
+
+double RetryPolicy::backoffBeforeRetry(int retry, Rng& rng) const {
+  PUSHPART_CHECK(retry >= 1);
+  const double raw =
+      backoffSeconds * std::pow(backoffFactor, static_cast<double>(retry - 1));
+  const double capped = std::min(raw, backoffMaxSeconds);
+  // Jitter draw happens even at jitterFraction == 0 so the stream position
+  // depends only on the number of retries, not on the knob values.
+  const double scale = 1.0 + jitterFraction * (2.0 * rng.real() - 1.0);
+  return capped * scale;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {
+  plan_.validate();
+}
+
+bool FaultInjector::dropHop() {
+  if (plan_.dropProbability <= 0.0) return false;
+  return rng_.chance(plan_.dropProbability);
+}
+
+bool FaultInjector::aliveAt(Proc p, double t) const {
+  return !(plan_.death && plan_.death->proc == p && t >= plan_.death->at);
+}
+
+std::optional<double> FaultInjector::deathTime(Proc p) const {
+  if (plan_.death && plan_.death->proc == p) return plan_.death->at;
+  return std::nullopt;
+}
+
+double FaultInjector::alphaFactorAt(double t) const {
+  double f = 1.0;
+  for (const LatencySpike& s : plan_.spikes)
+    if (t >= s.begin && t < s.end) f *= s.alphaFactor;
+  return f;
+}
+
+double FaultInjector::betaFactorAt(double t) const {
+  double f = 1.0;
+  for (const LatencySpike& s : plan_.spikes)
+    if (t >= s.begin && t < s.end) f *= s.betaFactor;
+  return f;
+}
+
+double FaultInjector::stallClearedAt(Proc p, double t) const {
+  // Stall windows may overlap or chain; follow them until a fixpoint.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const NicStall& s : plan_.stalls) {
+      if (s.proc != p || s.seconds <= 0.0) continue;
+      if (t >= s.at && t < s.at + s.seconds) {
+        t = s.at + s.seconds;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace pushpart

@@ -1,0 +1,130 @@
+// Deterministic fault injection for the cluster simulator.
+//
+// The paper's analysis (§II, Eqs. 2–9) assumes a perfect network and three
+// always-alive processors; a production cluster offers neither. A FaultPlan
+// is a declarative, seed-driven description of what goes wrong during one
+// run: messages dropped with a fixed probability, latency spikes that
+// inflate the Hockney α/β over time windows, transient NIC stalls, and the
+// permanent death of one processor at a given instant. A FaultInjector
+// executes the plan: every random decision flows through one xoshiro stream
+// seeded from the plan, so a (plan, partition, options) triple fully
+// determines a simulated run — faults are reproducible, not flaky.
+//
+// The RetryPolicy describes how the transfer layer reacts to loss: a
+// sender that has not seen an acknowledgement `timeoutSeconds` after its
+// message went out retransmits, waiting a bounded exponential backoff
+// (with deterministic jitter from the same stream) between attempts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "grid/proc.hpp"
+#include "support/rng.hpp"
+
+namespace pushpart {
+
+/// Multiplicative Hockney inflation over the window [begin, end): a message
+/// whose hop starts inside the window pays alphaFactor·α + betaFactor·β·M.
+struct LatencySpike {
+  double begin = 0.0;
+  double end = 0.0;
+  double alphaFactor = 1.0;
+  double betaFactor = 1.0;
+};
+
+/// Transient NIC outage: processor `proc` can start no outbound hop during
+/// [at, at + seconds); hops ready inside the window start at its end.
+struct NicStall {
+  Proc proc = Proc::P;
+  double at = 0.0;
+  double seconds = 0.0;
+};
+
+/// Permanent processor death: `proc` neither sends, receives nor computes
+/// from time `at` onward. Its partial results are lost.
+struct ProcDeath {
+  Proc proc = Proc::P;
+  double at = 0.0;
+};
+
+/// Declarative fault schedule for one simulated run. Default-constructed
+/// plans are inert: enabled() is false and the simulator takes its exact
+/// fault-free code path (bit-identical results).
+struct FaultPlan {
+  /// Seed of the fault stream (message-drop draws and backoff jitter).
+  std::uint64_t seed = 1;
+  /// Per-hop probability that a message is lost in transit. The hop still
+  /// occupies the sender's NIC — the bytes go out, nobody receives them.
+  double dropProbability = 0.0;
+  std::vector<LatencySpike> spikes;
+  std::vector<NicStall> stalls;
+  std::optional<ProcDeath> death;
+
+  bool enabled() const {
+    return dropProbability > 0.0 || !spikes.empty() || !stalls.empty() ||
+           death.has_value();
+  }
+
+  /// Throws CheckError on out-of-range probabilities, inverted spike
+  /// windows, negative times or non-positive inflation factors.
+  void validate() const;
+};
+
+/// Retransmission knobs for reliable transfers. Backoff before retry r
+/// (r = 1 is the first retransmit) is
+///   min(backoffSeconds · backoffFactor^(r−1), backoffMaxSeconds)
+/// scaled by a uniform jitter in [1 − jitterFraction, 1 + jitterFraction].
+struct RetryPolicy {
+  int maxAttempts = 8;            ///< Total attempts before giving up.
+  double timeoutSeconds = 1e-3;   ///< Ack wait before declaring a loss.
+  double backoffSeconds = 1e-4;   ///< Backoff before the second attempt.
+  double backoffFactor = 2.0;     ///< Exponential growth per retry.
+  double backoffMaxSeconds = 0.1; ///< Backoff ceiling (bounded backoff).
+  double jitterFraction = 0.1;    ///< ± relative jitter per backoff draw.
+
+  /// Throws CheckError on non-positive attempts/timeouts or jitter outside
+  /// [0, 1).
+  void validate() const;
+
+  /// Backoff delay before retry number `retry` (>= 1), jittered from `rng`.
+  double backoffBeforeRetry(int retry, Rng& rng) const;
+};
+
+/// Executes a FaultPlan. One injector serves one simulated run; drop draws
+/// and jitter consume the plan-seeded stream in event order, which the
+/// deterministic event queue makes reproducible.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Draws one Bernoulli(dropProbability) decision for a hop in transit.
+  bool dropHop();
+
+  /// True when `p` has not died by time `t`.
+  bool aliveAt(Proc p, double t) const;
+
+  /// Death instant of `p`, if the plan kills it.
+  std::optional<double> deathTime(Proc p) const;
+
+  /// Product of the α inflation factors of all spikes active at `t`.
+  double alphaFactorAt(double t) const;
+  /// Product of the β inflation factors of all spikes active at `t`.
+  double betaFactorAt(double t) const;
+
+  /// Earliest instant >= t at which `p`'s NIC is outside every stall
+  /// window (chained stalls are followed through).
+  double stallClearedAt(Proc p, double t) const;
+
+  /// The shared fault stream (backoff jitter draws).
+  Rng& rng() { return rng_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+};
+
+}  // namespace pushpart

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "grid/metrics.hpp"
+#include "plan/rebalance.hpp"
 #include "support/check.hpp"
 
 namespace pushpart {
@@ -101,14 +104,88 @@ double runParallel(EventQueue& events, Network& net,
   return latest;
 }
 
-}  // namespace
+// --- Fault-aware phases ----------------------------------------------------
 
-SimResult simulateMMM(Algo algo, const Partition& q,
-                      const SimOptions& options) {
-  PUSHPART_CHECK(options.chunksPerPair >= 1);
-  PUSHPART_CHECK_MSG(options.machine.ratio.valid(),
-                     "invalid ratio " << options.machine.ratio.str());
+/// Aggregate verdict of one reliable communication phase.
+struct PhaseOutcome {
+  double done = 0.0;      ///< Last delivery or failure-detection instant.
+  bool peerDead = false;  ///< Some transfer failed on a dead endpoint.
+  bool abandoned = false;  ///< Some transfer ran out of retry attempts.
+};
 
+/// Reliable counterpart of runSerial: transfers go one after another, each
+/// starting at the previous outcome (delivery or detection) instant.
+PhaseOutcome runSerialReliable(EventQueue& events, Network& net,
+                               const std::vector<SimMessage>& messages,
+                               const RetryPolicy& policy, double startAt) {
+  PhaseOutcome o;
+  double last = startAt;
+  for (const SimMessage& msg : messages) {
+    TransferOutcome out;
+    net.sendReliable(msg, last, policy,
+                     [&out](const TransferOutcome& r) { out = r; });
+    events.run();
+    last = out.at;
+    if (!out.delivered) (out.peerDead ? o.peerDead : o.abandoned) = true;
+  }
+  o.done = last;
+  return o;
+}
+
+/// Reliable counterpart of runParallel: everything is issued at startAt.
+PhaseOutcome runParallelReliable(EventQueue& events, Network& net,
+                                 const std::vector<SimMessage>& messages,
+                                 const RetryPolicy& policy, double startAt) {
+  PhaseOutcome o;
+  double latest = startAt;
+  for (const SimMessage& msg : messages) {
+    net.sendReliable(msg, startAt, policy, [&](const TransferOutcome& r) {
+      latest = std::max(latest, r.at);
+      if (!r.delivered) (r.peerDead ? o.peerDead : o.abandoned) = true;
+    });
+  }
+  events.run();
+  o.done = latest;
+  return o;
+}
+
+/// The survivor with the higher relative speed (q-encoding order on ties) —
+/// the natural checkpoint server for operand refetch.
+Proc fastestSurvivor(Proc dead, const Ratio& ratio) {
+  Proc best = Proc::P;
+  bool have = false;
+  for (Proc p : kAllProcs) {
+    if (p == dead) continue;
+    if (!have || ratio.speed(p) > ratio.speed(best)) {
+      best = p;
+      have = true;
+    }
+  }
+  return best;
+}
+
+/// Delta-schedule volumes as per-pair chunked messages (bulk re-sync).
+std::vector<SimMessage> deltaMessages(
+    const std::array<std::array<std::int64_t, kNumProcs>, kNumProcs>& vols,
+    int chunksPerPair) {
+  std::vector<SimMessage> out;
+  for (Proc s : kAllProcs) {
+    for (Proc r : kAllProcs) {
+      if (s == r) continue;
+      const std::int64_t volume = vols[procSlot(s)][procSlot(r)];
+      if (volume == 0) continue;
+      for (int c = 0; c < chunksPerPair; ++c) {
+        const std::int64_t lo = volume * c / chunksPerPair;
+        const std::int64_t hi = volume * (c + 1) / chunksPerPair;
+        if (hi > lo) out.push_back({s, r, hi - lo});
+      }
+    }
+  }
+  return out;
+}
+
+SimResult simulateIdeal(Algo algo, const Partition& q,
+                        const SimOptions& options) {
   EventQueue events;
   Network net(events, options.machine, options.topology, options.star);
   const CompLoads loads = computeLoads(q, options.machine);
@@ -191,6 +268,256 @@ SimResult simulateMMM(Algo algo, const Partition& q,
   }
   result.network = net.stats();
   return result;
+}
+
+/// Fault-injected run: reliable transfers (timeout/backoff retransmission)
+/// and, on processor death, degrade-to-survivors failover via
+/// plan/rebalance.hpp. Post-death execution is modeled barrier-style — the
+/// overlap algorithms lose their overlap once a failure is detected, a
+/// documented simplification (DESIGN.md, "Fault model & recovery").
+SimResult simulateFaulty(Algo algo, const Partition& q,
+                         const SimOptions& options) {
+  options.faults.validate();
+  options.retry.validate();
+  FaultInjector injector(options.faults);
+  EventQueue events;
+  Network net(events, options.machine, options.topology, options.star,
+              &injector);
+  const Machine& m = options.machine;
+  const CompLoads loads = computeLoads(q, m);
+  const int n = q.n();
+
+  const bool hasDeath = options.faults.death.has_value();
+  const Proc dead = hasDeath ? options.faults.death->proc : Proc::P;
+  const double deathAt = hasDeath ? options.faults.death->at : 0.0;
+
+  SimResult result;
+  auto failAt = [&](double t) -> SimResult& {
+    result.execSeconds = t;
+    result.completed = false;
+    result.network = net.stats();
+    return result;
+  };
+
+  // Marks the failure detection and computes the failover partition for the
+  // epoch starting at pivot kStar. Returns nullopt when recovery is off.
+  auto startFailover = [&](double tDet, int kStar,
+                           const Partition& cur) -> std::optional<RebalanceResult> {
+    result.recovery.processorDied = true;
+    result.recovery.deadProc = dead;
+    result.recovery.deathDetectedAt = tDet;
+    if (!options.rebalanceOnDeath) return std::nullopt;
+    RebalanceResult reb = rebalanceOnDeath(cur, dead, m.ratio, kStar);
+    result.recovery.failoverPivot = kStar;
+    result.recovery.reassignedElements = reb.reassigned;
+    result.recovery.failoverPlanVerified = reb.deltaPlanVerified;
+    result.recovery.vocBefore = reb.vocBefore;
+    result.recovery.vocAfter = reb.vocAfter;
+    return reb;
+  };
+
+  // Checkpoint refetch: the fastest survivor re-serves the A and B panels
+  // of every reassigned cell to the other gainer (its own share is local).
+  auto refetchMessages = [&](const RebalanceResult& reb) {
+    const Proc server = fastestSurvivor(dead, m.ratio);
+    std::vector<SimMessage> msgs;
+    for (Proc x : kAllProcs) {
+      if (x == dead || x == server) continue;
+      const std::int64_t panels = 2 * reb.gained[procSlot(x)];
+      if (panels > 0) {
+        msgs.push_back({server, x, panels});
+        result.recovery.refetchedElements += panels;
+      }
+    }
+    return msgs;
+  };
+
+  if (algo == Algo::kPIO) {
+    PUSHPART_CHECK(options.pioBlockSize >= 1);
+    Partition cur = q;
+    CompLoads curLoads = loads;
+    double t = 0.0;
+    int prevBlockSteps = 0;
+    bool failedOver = false;
+    int k = 0;
+    while (k < n) {
+      if (hasDeath && !failedOver && t >= deathAt) {
+        // Finish the owed previous-block computation, then fail over from
+        // the current pivot: refetch the lost panels and let the remaining
+        // loop iterations replay pivots [k, n) under the new partition.
+        const double pending = t + curLoads.maxStep * prevBlockSteps;
+        const double tDet =
+            std::max(pending, deathAt + options.retry.timeoutSeconds);
+        auto reb = startFailover(tDet, k, cur);
+        if (!reb) return failAt(tDet);
+        const PhaseOutcome rec = runParallelReliable(
+            events, net, refetchMessages(*reb), options.retry, tDet);
+        if (rec.abandoned || rec.peerDead) return failAt(rec.done);
+        cur = std::move(reb->after);
+        curLoads = computeLoads(cur, m);
+        double maxCatchup = 0.0;
+        for (Proc x : kAllProcs) {
+          if (x == dead) continue;
+          maxCatchup = std::max(
+              maxCatchup, m.computeSeconds(x, reb->gained[procSlot(x)] * k));
+        }
+        result.recovery.recoverySeconds = (rec.done - tDet) + maxCatchup;
+        result.completed = reb->deltaPlanVerified;
+        t = rec.done + maxCatchup;
+        prevBlockSteps = 0;
+        failedOver = true;
+        continue;
+      }
+      const int blockEnd = std::min(n, k + options.pioBlockSize);
+      std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> vol{};
+      for (int p = k; p < blockEnd; ++p)
+        for (const SimMessage& msg : stepMessages(cur, p))
+          vol[procSlot(msg.from)][procSlot(msg.to)] += msg.elements;
+      PhaseOutcome block{t, false, false};
+      double latest = t;
+      for (Proc s : kAllProcs)
+        for (Proc r : kAllProcs) {
+          if (s == r || vol[procSlot(s)][procSlot(r)] == 0) continue;
+          net.sendReliable({s, r, vol[procSlot(s)][procSlot(r)]}, t,
+                           options.retry, [&](const TransferOutcome& out) {
+                             latest = std::max(latest, out.at);
+                             if (!out.delivered)
+                               (out.peerDead ? block.peerDead
+                                             : block.abandoned) = true;
+                           });
+        }
+      events.run();
+      block.done = latest;
+      if (block.abandoned) return failAt(block.done);
+      if (block.peerDead) {
+        // Death detected mid-block; re-enter the loop so the failover
+        // branch fires and this block is re-sent under the new partition.
+        PUSHPART_CHECK(!failedOver);
+        t = std::max(t, block.done);
+        continue;
+      }
+      t = std::max(block.done, t + curLoads.maxStep * prevBlockSteps);
+      prevBlockSteps = blockEnd - k;
+      k = blockEnd;
+    }
+    t += curLoads.maxStep * prevBlockSteps;
+    if (hasDeath && !failedOver && deathAt < t) {
+      // Death during the final drain: all pivot data was exchanged, but the
+      // dead processor's C contributions are lost. Failover at pivot n:
+      // empty delta schedule, full catch-up for the reassigned cells.
+      const double tDet = deathAt + options.retry.timeoutSeconds;
+      auto reb = startFailover(tDet, n, q);
+      if (!reb) return failAt(tDet);
+      const PhaseOutcome rec = runParallelReliable(
+          events, net, refetchMessages(*reb), options.retry,
+          std::max(tDet, t));
+      if (rec.abandoned || rec.peerDead) return failAt(rec.done);
+      double maxCatchup = 0.0;
+      for (Proc x : kAllProcs) {
+        if (x == dead) continue;
+        maxCatchup = std::max(
+            maxCatchup, m.computeSeconds(x, reb->gained[procSlot(x)] * n));
+      }
+      result.recovery.recoverySeconds = (rec.done - tDet) + maxCatchup;
+      result.completed = reb->deltaPlanVerified;
+      t = rec.done + maxCatchup;
+    }
+    double nicBusy = 0.0;
+    for (double b : net.stats().nicBusySeconds) nicBusy += b;
+    result.commSeconds = nicBusy;
+    result.compSeconds = curLoads.maxStep * n;
+    result.execSeconds = t;
+    result.network = net.stats();
+    return result;
+  }
+
+  // --- Bulk algorithms (SCB/PCB/SCO/PCO) --------------------------------
+  const bool serialFamily = algo == Algo::kSCB || algo == Algo::kSCO;
+  const bool overlapFamily = algo == Algo::kSCO || algo == Algo::kPCO;
+  const auto messages = bulkMessages(q, options.chunksPerPair);
+  const PhaseOutcome comm =
+      serialFamily
+          ? runSerialReliable(events, net, messages, options.retry, 0.0)
+          : runParallelReliable(events, net, messages, options.retry, 0.0);
+  result.commSeconds = comm.done;
+  if (comm.abandoned) return failAt(comm.done);
+
+  const double idealFinish =
+      overlapFamily ? std::max(comm.done, loads.maxOverlap) + loads.maxRemainder
+                    : comm.done + loads.maxFull;
+
+  if (!hasDeath || (!comm.peerDead && deathAt >= idealFinish)) {
+    if (overlapFamily) {
+      result.overlapSeconds = loads.maxOverlap;
+      result.compSeconds = loads.maxRemainder;
+    } else {
+      result.compSeconds = loads.maxFull;
+    }
+    result.execSeconds = idealFinish;
+    result.network = net.stats();
+    return result;
+  }
+
+  // --- Failover ----------------------------------------------------------
+  // Detection: during the communication phase the failed transfers already
+  // pushed comm.done past the ack timeout; during computation the failure
+  // detector fires timeoutSeconds after the death.
+  const double tDet =
+      std::max(comm.done, deathAt + options.retry.timeoutSeconds);
+  // Progress pivot under the barrier view of the compute phase.
+  int kStar = n;
+  if (loads.maxFull > 0.0) {
+    const double f =
+        std::clamp((tDet - comm.done) / loads.maxFull, 0.0, 1.0);
+    kStar = std::min(n, static_cast<int>(static_cast<double>(n) * f));
+  }
+  auto reb = startFailover(tDet, kStar, q);
+  if (!reb) return failAt(tDet);
+
+  // Recovery traffic: checkpoint refetch plus the failover epoch's delta
+  // schedule (bulk algorithms pre-delivered under the old ownership, so the
+  // epoch's volumes are re-synced in full among the survivors).
+  std::vector<SimMessage> recMessages = refetchMessages(*reb);
+  for (SimMessage msg :
+       deltaMessages(planVolumes(reb->deltaPlan), options.chunksPerPair))
+    recMessages.push_back(msg);
+  const PhaseOutcome rec =
+      serialFamily
+          ? runSerialReliable(events, net, recMessages, options.retry, tDet)
+          : runParallelReliable(events, net, recMessages, options.retry, tDet);
+  result.commSeconds = rec.done;
+  if (rec.abandoned || rec.peerDead) return failAt(rec.done);
+
+  // Survivors catch the reassigned cells up over the finished pivots, then
+  // everyone computes the failover epoch.
+  double maxCatchup = 0.0;
+  double maxComp = 0.0;
+  for (Proc x : kAllProcs) {
+    if (x == dead) continue;
+    const double catchup =
+        m.computeSeconds(x, reb->gained[procSlot(x)] * kStar);
+    const double rest =
+        m.computeSeconds(x, reb->after.count(x) * (n - kStar));
+    maxCatchup = std::max(maxCatchup, catchup);
+    maxComp = std::max(maxComp, catchup + rest);
+  }
+  result.recovery.recoverySeconds = (rec.done - tDet) + maxCatchup;
+  result.compSeconds = maxComp;
+  result.execSeconds = rec.done + maxComp;
+  result.completed = reb->deltaPlanVerified;
+  result.network = net.stats();
+  return result;
+}
+
+}  // namespace
+
+SimResult simulateMMM(Algo algo, const Partition& q,
+                      const SimOptions& options) {
+  PUSHPART_CHECK(options.chunksPerPair >= 1);
+  PUSHPART_CHECK_MSG(options.machine.ratio.valid(),
+                     "invalid ratio " << options.machine.ratio.str());
+  if (!options.faults.enabled()) return simulateIdeal(algo, q, options);
+  return simulateFaulty(algo, q, options);
 }
 
 }  // namespace pushpart

@@ -30,6 +30,33 @@ struct SimOptions {
   /// Pivots exchanged per PIO step (paper §II: "k rows and columns at a
   /// time"). 1 = classic PIO; n = one bulk exchange. Must be >= 1.
   int pioBlockSize = 1;
+  /// Fault injection plan. When disabled (the default) the simulation takes
+  /// the original perfect-network path and is bit-identical to it.
+  FaultPlan faults{};
+  /// Timeout/retransmit policy for transfers under fault injection.
+  RetryPolicy retry{};
+  /// On processor death, repartition to the survivors (plan/rebalance.hpp)
+  /// and finish the run degraded. When false a death aborts the run
+  /// (SimResult::completed == false).
+  bool rebalanceOnDeath = true;
+};
+
+/// What happened when a processor died mid-run (all zero when none did).
+struct SimRecovery {
+  bool processorDied = false;
+  Proc deadProc = Proc::P;
+  double deathDetectedAt = 0.0;  ///< Failure-detector instant (death + timeout).
+  /// First pivot of the failover epoch: pivots [failoverPivot, N) re-run
+  /// under the rebalanced partition.
+  int failoverPivot = 0;
+  std::int64_t reassignedElements = 0;  ///< Cells moved off the dead processor.
+  std::int64_t refetchedElements = 0;   ///< Operand panels re-served on failover.
+  /// Failover overhead: refetch/re-sync communication plus the catch-up
+  /// computation of the reassigned cells over the already-finished pivots.
+  double recoverySeconds = 0.0;
+  bool failoverPlanVerified = false;  ///< verifyElementPlanRange accepted it.
+  std::int64_t vocBefore = 0;  ///< VoC of the original partition.
+  std::int64_t vocAfter = 0;   ///< VoC of the degraded two-survivor partition.
 };
 
 struct SimResult {
@@ -40,6 +67,11 @@ struct SimResult {
   double overlapSeconds = 0.0;  ///< Bulk-overlap computation (SCO/PCO).
   double compSeconds = 0.0;     ///< Post-communication computation.
   NetworkStats network;
+  /// False when the run could not finish: a transfer ran out of retry
+  /// attempts, or a processor died with rebalanceOnDeath off (execSeconds
+  /// then holds the abort instant).
+  bool completed = true;
+  SimRecovery recovery;
 };
 
 /// Simulates one full MMM of the partition's matrix under `algo`.

@@ -1,4 +1,4 @@
-// Sender-bound Hockney network with topology routing.
+// Sender-bound Hockney network with topology routing and fault injection.
 //
 // Each node's NIC serializes its outbound messages: a message of M elements
 // occupies the sender for α + β·M seconds and is delivered at completion
@@ -7,6 +7,15 @@
 // is stored and forwarded at the hub, whose NIC also serializes the
 // forwarding load; this is how the simulator exposes costs the closed-form
 // models only approximate.
+//
+// With a FaultInjector attached the network additionally models an
+// imperfect cluster: hops can be lost in transit, latency spikes inflate
+// α/β inside time windows, stalled NICs delay hop starts, and messages
+// touching a dead processor never arrive. sendReliable() layers
+// timeout/retransmit semantics (bounded exponential backoff with jitter)
+// on top, which is what the fault-aware simulation paths use. Without an
+// injector the arithmetic is bit-identical to the original perfect-network
+// model.
 #pragma once
 
 #include <array>
@@ -16,6 +25,7 @@
 #include "model/machine.hpp"
 #include "model/topology.hpp"
 #include "sim/event.hpp"
+#include "sim/fault.hpp"
 
 namespace pushpart {
 
@@ -25,24 +35,54 @@ struct SimMessage {
   std::int64_t elements = 0;
 };
 
-/// Per-run network statistics.
+/// Per-run network statistics. The fault counters stay zero when no
+/// FaultInjector is attached.
 struct NetworkStats {
-  std::int64_t messagesSent = 0;   ///< Including forwarding hops.
+  std::int64_t messagesSent = 0;   ///< Including forwarding hops and retries.
   std::int64_t elementsMoved = 0;  ///< Element·hops.
   std::array<double, kNumProcs> nicBusySeconds{};
+  std::int64_t dropsInjected = 0;       ///< Hops lost in transit.
+  std::int64_t retriesSent = 0;         ///< Retransmissions after a timeout.
+  std::int64_t transfersAbandoned = 0;  ///< Reliable transfers out of attempts.
+  std::int64_t deadEndpointFailures = 0;  ///< Transfers aborted: peer dead.
+};
+
+/// Final verdict of one reliable transfer.
+struct TransferOutcome {
+  bool delivered = false;
+  /// Delivery instant, or the instant the sender gave up / detected death.
+  double at = 0.0;
+  int attempts = 1;
+  bool peerDead = false;  ///< Failed because an endpoint died.
 };
 
 class Network {
  public:
   Network(EventQueue& events, const Machine& machine, Topology topology,
-          StarConfig star = {})
-      : events_(events), machine_(machine), topology_(topology), star_(star) {}
+          StarConfig star = {}, FaultInjector* faults = nullptr)
+      : events_(events),
+        machine_(machine),
+        topology_(topology),
+        star_(star),
+        faults_(faults) {}
 
   /// Queues `message` on the sender's NIC no earlier than `readyAt`;
   /// `onDelivered(t)` fires at final delivery (after the hub hop, if any).
-  /// Zero-element messages deliver immediately without NIC cost.
+  /// Zero-element messages deliver immediately without NIC cost. Fault-blind:
+  /// delivery is guaranteed even when an injector is attached (timing faults
+  /// still apply); use sendReliable for loss-aware transfers.
   void send(const SimMessage& message, double readyAt,
             std::function<void(double)> onDelivered);
+
+  /// Reliable transfer with retransmission: attempts the send, detects a
+  /// loss `policy.timeoutSeconds` after the hop completed, backs off
+  /// (bounded exponential with jitter from the fault stream) and retries up
+  /// to `policy.maxAttempts` total attempts. Fails fast with peerDead when
+  /// an endpoint is dead at (re)send or detection time. Requires a
+  /// FaultInjector; with a fault-free plan it degenerates to send().
+  void sendReliable(const SimMessage& message, double readyAt,
+                    const RetryPolicy& policy,
+                    std::function<void(const TransferOutcome&)> onDone);
 
   /// Earliest instant the processor's NIC can accept another send.
   double nicFreeAt(Proc p) const { return nicFreeAt_[procSlot(p)]; }
@@ -50,14 +90,27 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
 
  private:
-  /// Books one hop on `sender`'s NIC starting no earlier than readyAt;
-  /// returns completion time.
+  /// Books one hop on `sender`'s NIC starting no earlier than readyAt
+  /// (later when the NIC is stalled); returns completion time. Latency
+  /// spikes inflate the hop's α/β by their factors at the start instant.
   double bookHop(Proc sender, std::int64_t elements, double readyAt);
+
+  /// One unreliable end-to-end attempt (including the hub hop, if any).
+  /// `onResult(delivered, t)` fires at delivery, or at the instant the
+  /// message was lost (drop or dead endpoint); `t` is when the last hop
+  /// finished transmitting.
+  void attemptOnce(const SimMessage& message, double readyAt,
+                   std::function<void(bool, double)> onResult);
+
+  void runAttempt(SimMessage message, double readyAt, RetryPolicy policy,
+                  int attempt,
+                  std::function<void(const TransferOutcome&)> onDone);
 
   EventQueue& events_;
   Machine machine_;
   Topology topology_;
   StarConfig star_;
+  FaultInjector* faults_;
   std::array<double, kNumProcs> nicFreeAt_{};
   NetworkStats stats_;
 };

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <stdexcept>
 
 namespace pushpart {
 
@@ -24,6 +25,15 @@ const char* levelName(LogLevel level) {
 void setLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
 
 LogLevel logLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+LogLevel parseLogLevel(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  throw std::invalid_argument("unknown log level '" + name +
+                              "' (expected debug|info|warn|error)");
+}
 
 void logMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;

@@ -15,6 +15,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
+/// Parses "debug" | "info" | "warn" | "error" (the --log-level flag values).
+/// Throws std::invalid_argument on anything else.
+LogLevel parseLogLevel(const std::string& name);
+
 /// Thread-safe: the formatted line is written with a single stream insertion.
 void logMessage(LogLevel level, const std::string& message);
 

@@ -63,16 +63,58 @@ TEST(BatchTest, InvalidRatioRejected) {
   EXPECT_THROW(runBatch(opts, [](const BatchRun&) {}), CheckError);
 }
 
-TEST(BatchTest, CallbackExceptionPropagates) {
+TEST(BatchTest, CallbackExceptionRecordedNotRethrown) {
   BatchOptions opts;
   opts.n = 8;
   opts.runs = 4;
   opts.threads = 2;
-  EXPECT_THROW(runBatch(opts,
-                        [](const BatchRun&) {
-                          throw std::runtime_error("callback failure");
-                        }),
-               std::runtime_error);
+  // A throwing callback must not kill the process, deadlock the workers or
+  // abort the batch; every run is attempted and every failure is recorded.
+  const BatchSummary summary = runBatch(opts, [](const BatchRun&) {
+    throw std::runtime_error("callback failure");
+  });
+  EXPECT_EQ(summary.completed, 0);
+  ASSERT_EQ(summary.failures.size(), 4u);
+  EXPECT_FALSE(summary.allCompleted());
+  for (std::size_t i = 0; i < summary.failures.size(); ++i) {
+    EXPECT_EQ(summary.failures[i].runIndex, static_cast<int>(i));
+    EXPECT_EQ(summary.failures[i].message, "callback failure");
+  }
+}
+
+TEST(BatchTest, FailedRunDoesNotAbortTheOthers) {
+  BatchOptions opts;
+  opts.n = 8;
+  opts.runs = 6;
+  opts.threads = 3;
+  const BatchSummary summary = runBatch(opts, [](const BatchRun& run) {
+    if (run.runIndex == 2) throw std::runtime_error("only run 2 fails");
+  });
+  EXPECT_EQ(summary.completed, 5);
+  ASSERT_EQ(summary.failures.size(), 1u);
+  EXPECT_EQ(summary.failures.front().runIndex, 2);
+  EXPECT_EQ(summary.failures.front().message, "only run 2 fails");
+}
+
+TEST(BatchTest, NonStdExceptionRecordedAsUnknown) {
+  BatchOptions opts;
+  opts.n = 8;
+  opts.runs = 1;
+  opts.threads = 1;
+  const BatchSummary summary =
+      runBatch(opts, [](const BatchRun&) { throw 42; });
+  EXPECT_EQ(summary.completed, 0);
+  ASSERT_EQ(summary.failures.size(), 1u);
+  EXPECT_EQ(summary.failures.front().message, "unknown error");
+}
+
+TEST(BatchTest, CleanBatchReportsAllCompleted) {
+  BatchOptions opts;
+  opts.n = 8;
+  opts.runs = 5;
+  const BatchSummary summary = runBatch(opts, [](const BatchRun&) {});
+  EXPECT_EQ(summary.completed, 5);
+  EXPECT_TRUE(summary.allCompleted());
 }
 
 TEST(BatchTest, SchedulesVaryAcrossRuns) {

@@ -6,6 +6,7 @@
 
 #include "grid/builder.hpp"
 #include "shapes/candidates.hpp"
+#include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace pushpart {
@@ -102,6 +103,75 @@ TEST(KijExecutorTest, RatioSizedPartitionBalancesThrottledWorkers) {
   const double pBusy = result.computeSeconds[procSlot(Proc::P)];
   const double sBusy = result.computeSeconds[procSlot(Proc::S)];
   EXPECT_GT(pBusy, sBusy * 1.5);
+}
+
+TEST(KijExecutorFaultTest, DisabledPlanLeavesTheRunUntouched) {
+  Rng rng(9);
+  const Ratio ratio{2, 1, 1};
+  const auto q = randomPartition(24, ratio, rng);
+  auto opts = fastOptions(ratio);
+  const auto base = runParallelMMM(Algo::kSCB, q, opts);
+  opts.faults.seed = 123;  // still disabled: no faults configured
+  const auto again = runParallelMMM(Algo::kSCB, q, opts);
+  EXPECT_DOUBLE_EQ(again.commSeconds, base.commSeconds);
+  EXPECT_EQ(again.commDropsInjected, 0);
+  EXPECT_EQ(again.commRetriesSent, 0);
+  EXPECT_TRUE(again.commCompleted);
+}
+
+TEST(KijExecutorFaultTest, DropsForceRetriesAndExtendTheCommPhase) {
+  Rng rng(10);
+  const Ratio ratio{3, 1, 1};
+  const auto q = randomPartition(32, ratio, rng);
+  auto opts = fastOptions(ratio);
+  const double baseline = runParallelMMM(Algo::kSCB, q, opts).commSeconds;
+  opts.faults.seed = 3;
+  opts.faults.dropProbability = 0.5;
+  opts.retry.timeoutSeconds = 1e-6;
+  opts.retry.backoffSeconds = 1e-7;
+  opts.retry.backoffMaxSeconds = 1e-5;
+  const auto faulty = runParallelMMM(Algo::kSCB, q, opts);
+  EXPECT_GT(faulty.commDropsInjected, 0);
+  EXPECT_GT(faulty.commRetriesSent, 0);
+  EXPECT_TRUE(faulty.commCompleted);
+  EXPECT_GT(faulty.commSeconds, baseline);
+  // The numerics run on real threads either way and stay exact.
+  EXPECT_LT(faulty.maxAbsError, 1e-9);
+}
+
+TEST(KijExecutorFaultTest, FaultedRunsAreDeterministicInTheSeed) {
+  Rng rng(11);
+  const Ratio ratio{2, 1, 1};
+  const auto q = randomPartition(24, ratio, rng);
+  auto opts = fastOptions(ratio);
+  opts.faults.seed = 17;
+  opts.faults.dropProbability = 0.4;
+  const auto a = runParallelMMM(Algo::kPCB, q, opts);
+  const auto b = runParallelMMM(Algo::kPCB, q, opts);
+  EXPECT_DOUBLE_EQ(a.commSeconds, b.commSeconds);
+  EXPECT_EQ(a.commDropsInjected, b.commDropsInjected);
+  EXPECT_EQ(a.commRetriesSent, b.commRetriesSent);
+}
+
+TEST(KijExecutorFaultTest, ExhaustedRetriesReportedButRunStillVerifies) {
+  Rng rng(12);
+  const Ratio ratio{2, 1, 1};
+  const auto q = randomPartition(24, ratio, rng);
+  auto opts = fastOptions(ratio);
+  opts.faults.dropProbability = 1.0;
+  opts.retry.maxAttempts = 2;
+  const auto result = runParallelMMM(Algo::kSCB, q, opts);
+  EXPECT_FALSE(result.commCompleted);
+  EXPECT_LT(result.maxAbsError, 1e-9);
+}
+
+TEST(KijExecutorFaultTest, DeathPlansRejected) {
+  Rng rng(13);
+  const Ratio ratio{2, 1, 1};
+  const auto q = randomPartition(16, ratio, rng);
+  auto opts = fastOptions(ratio);
+  opts.faults.death = ProcDeath{Proc::R, 0.0};
+  EXPECT_THROW(runParallelMMM(Algo::kSCB, q, opts), CheckError);
 }
 
 TEST(KijExecutorTest, DeterministicInputs) {

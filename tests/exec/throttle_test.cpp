@@ -43,6 +43,45 @@ TEST(ThrottleTest, ActualWallClockMatchesDutyCycle) {
   EXPECT_GE(sw.seconds(), 0.015);
 }
 
+TEST(ThrottleTest, FullSpeedNeverSleepsEvenOnManyTinyCharges) {
+  // fraction = 1.0 must short-circuit before any sleep arithmetic: thousands
+  // of sub-quantum charges still cost no wall time and no slept seconds.
+  Throttle t(1.0);
+  Stopwatch sw;
+  for (int i = 0; i < 5000; ++i) t.charge(1e-6);
+  EXPECT_DOUBLE_EQ(t.sleptSeconds(), 0.0);
+  EXPECT_LT(sw.seconds(), 0.1);
+}
+
+TEST(ThrottleTest, SubQuantumChargesAccumulateUntilTheDebtIsDue) {
+  // Individually negligible charges must add up to the same sleep debt as
+  // one lump charge of the same total.
+  Throttle many(0.5);
+  for (int i = 0; i < 40; ++i) many.charge(5e-4);  // 0.02 s in total
+  Throttle lump(0.5);
+  lump.charge(0.02);
+  EXPECT_NEAR(many.sleptSeconds(), lump.sleptSeconds(), 0.01);
+  EXPECT_NEAR(many.sleptSeconds(), 0.02, 0.01);
+}
+
+TEST(ThrottleTest, SleptSecondsIsMonotoneNonDecreasing) {
+  Throttle t(0.25);
+  double last = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    t.charge(5e-4);
+    const double now = t.sleptSeconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  EXPECT_GT(last, 0.0);
+}
+
+TEST(ThrottleTest, ZeroChargeIsANoOp) {
+  Throttle t(0.5);
+  t.charge(0.0);
+  EXPECT_DOUBLE_EQ(t.sleptSeconds(), 0.0);
+}
+
 TEST(ThrottleTest, InvalidFractionsRejected) {
   EXPECT_THROW(Throttle(0.0), CheckError);
   EXPECT_THROW(Throttle(-0.5), CheckError);

@@ -45,6 +45,72 @@ TEST(SerializeTest, TruncatedGridThrows) {
   EXPECT_THROW(loadPartition(ss), std::runtime_error);
 }
 
+std::string loadErrorMessage(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    loadPartition(ss);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";  // no exception — the caller's EXPECT on the message will fail
+}
+
+TEST(SerializeTest, InvalidCellCharacterNamesThePosition) {
+  const std::string msg =
+      loadErrorMessage("pushpart-partition v1\nn 2\nPR\nPX\n");
+  EXPECT_NE(msg.find("invalid cell 'X'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("row 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("column 1"), std::string::npos) << msg;
+}
+
+TEST(SerializeTest, NonPositiveSizeRejected) {
+  EXPECT_NE(loadErrorMessage("pushpart-partition v1\nn 0\n")
+                .find("must be positive"),
+            std::string::npos);
+  EXPECT_NE(loadErrorMessage("pushpart-partition v1\nn -3\n")
+                .find("must be positive"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, AbsurdlyLargeSizeRejectedBeforeAllocation) {
+  // A hostile header must not drive an O(n²) allocation.
+  EXPECT_NE(loadErrorMessage("pushpart-partition v1\nn 99999999\nPPP\n")
+                .find("exceeds the supported maximum"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, NonNumericOrJunkSizeLineRejected) {
+  EXPECT_NE(loadErrorMessage("pushpart-partition v1\nn three\nPPP\n")
+                .find("bad size line"),
+            std::string::npos);
+  EXPECT_NE(loadErrorMessage("pushpart-partition v1\nm 3\nPPP\n")
+                .find("bad size line"),
+            std::string::npos);
+  EXPECT_NE(loadErrorMessage("pushpart-partition v1\nn 3 junk\nPPP\n")
+                .find("trailing junk"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, WrongRowLengthNamesTheRow) {
+  const std::string msg =
+      loadErrorMessage("pushpart-partition v1\nn 3\nPPP\nPP\nPPP\n");
+  EXPECT_NE(msg.find("row 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("has 2 cells, expected 3"), std::string::npos) << msg;
+}
+
+TEST(SerializeTest, TruncatedGridNamesTheShortfall) {
+  const std::string msg =
+      loadErrorMessage("pushpart-partition v1\nn 3\nPPP\nPPP\n");
+  EXPECT_NE(msg.find("got 2 of 3 rows"), std::string::npos) << msg;
+}
+
+TEST(SerializeTest, CrlfAndTrailingBlanksAccepted) {
+  std::stringstream ss("pushpart-partition v1\nn 2\nPR\r\nPP \n");
+  const auto q = loadPartition(ss);
+  EXPECT_EQ(q.n(), 2);
+  EXPECT_EQ(q.at(0, 1), Proc::R);
+}
+
 TEST(SerializeTest, MissingFileThrows) {
   EXPECT_THROW(loadPartition(std::string("/no/such/file.txt")),
                std::runtime_error);

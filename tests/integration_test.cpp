@@ -100,9 +100,10 @@ TEST(PipelineTest, BatchSearchNeverBeatsCandidates) {
   opts.seed = 1234;
 
   std::int64_t bestSearched = std::numeric_limits<std::int64_t>::max();
-  runBatch(opts, [&](const BatchRun& run) {
+  const BatchSummary summary = runBatch(opts, [&](const BatchRun& run) {
     bestSearched = std::min(bestSearched, run.result.vocEnd);
   });
+  ASSERT_TRUE(summary.allCompleted());
 
   std::int64_t bestCandidate = std::numeric_limits<std::int64_t>::max();
   for (CandidateShape shape : kAllCandidates) {

@@ -139,6 +139,62 @@ TEST(CommPlanVerifyTest, CatchesWrongPivotCoordinates) {
     }
 }
 
+TEST(CommPlanRangeTest, SuffixPlanVerifiesAtEveryPivot) {
+  Rng rng(14);
+  const auto q = randomPartition(12, Ratio{3, 2, 1}, rng);
+  for (int firstPivot = 0; firstPivot <= q.n(); ++firstPivot) {
+    const auto plan = buildElementPlanRange(q, firstPivot);
+    EXPECT_EQ(plan.size(), static_cast<std::size_t>(q.n() - firstPivot));
+    EXPECT_TRUE(verifyElementPlanRange(q, plan, firstPivot))
+        << "firstPivot=" << firstPivot;
+  }
+}
+
+TEST(CommPlanRangeTest, PivotZeroReproducesTheFullPlan) {
+  Rng rng(15);
+  const auto q = randomPartition(14, Ratio{4, 2, 1}, rng);
+  const auto full = buildElementPlan(q);
+  const auto range = buildElementPlanRange(q, 0);
+  ASSERT_EQ(full.size(), range.size());
+  for (std::size_t k = 0; k < full.size(); ++k) {
+    EXPECT_EQ(full[k].pivot, range[k].pivot);
+    EXPECT_EQ(full[k].aColumn, range[k].aColumn);
+    EXPECT_EQ(full[k].bRow, range[k].bRow);
+  }
+}
+
+TEST(CommPlanRangeTest, EmptySuffixIsTriviallyComplete) {
+  Rng rng(16);
+  const auto q = randomPartition(10, Ratio{2, 1, 1}, rng);
+  const auto plan = buildElementPlanRange(q, q.n());
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(verifyElementPlanRange(q, plan, q.n()));
+}
+
+TEST(CommPlanRangeTest, MismatchedFirstPivotRejected) {
+  Rng rng(17);
+  const auto q = randomPartition(12, Ratio{3, 1, 1}, rng);
+  const auto plan = buildElementPlanRange(q, 6);
+  // Off-by-one epochs have the wrong size and the wrong pivot labels.
+  EXPECT_FALSE(verifyElementPlanRange(q, plan, 5));
+  EXPECT_FALSE(verifyElementPlanRange(q, plan, 7));
+  EXPECT_FALSE(verifyElementPlanRange(q, plan, 0));
+}
+
+TEST(CommPlanRangeTest, TamperedSuffixPlanRejected) {
+  Partition q(6);
+  q.set(1, 2, Proc::R);
+  q.set(4, 3, Proc::S);
+  auto plan = buildElementPlanRange(q, 2);
+  ASSERT_TRUE(verifyElementPlanRange(q, plan, 2));
+  for (auto& step : plan)
+    if (!step.aColumn.empty()) {
+      step.aColumn.pop_back();
+      break;
+    }
+  EXPECT_FALSE(verifyElementPlanRange(q, plan, 2));
+}
+
 TEST(CommPlanTest, SquareCornerPlanHasNoSlowToSlowTraffic) {
   // R and S share no rows or columns in a Square-Corner partition, so the
   // schedule must contain no R↔S transfer — the property behind its star-

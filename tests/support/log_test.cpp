@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -53,6 +55,25 @@ TEST(LogTest, ConcurrentLoggingIsSafe) {
     });
   }
   for (auto& th : threads) th.join();
+}
+
+TEST(LogTest, ParseLogLevelAcceptsEveryName) {
+  EXPECT_EQ(parseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(parseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parseLogLevel("error"), LogLevel::kError);
+}
+
+TEST(LogTest, ParseLogLevelRejectsUnknownNames) {
+  EXPECT_THROW(parseLogLevel("verbose"), std::invalid_argument);
+  EXPECT_THROW(parseLogLevel(""), std::invalid_argument);
+  EXPECT_THROW(parseLogLevel("DEBUG"), std::invalid_argument);
+  try {
+    parseLogLevel("loud");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("expected debug|info|warn|error"),
+              std::string::npos);
+  }
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

@@ -12,9 +12,11 @@
 //   ./push_fuzzer [--seconds=30] [--max-runs=0 (unlimited)] [--seed=1]
 //                 [--min-n=24] [--max-n=96] [--threads=0]
 //                 [--dump-dir=.] [--validate-every=50]
+//                 [--log-level=debug|info|warn|error]
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "shapes/archetype.hpp"
 #include "shapes/transform.hpp"
 #include "support/flags.hpp"
+#include "support/log.hpp"
 #include "support/stopwatch.hpp"
 
 using namespace pushpart;
@@ -42,11 +45,23 @@ Ratio randomRatio(Rng& rng) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  try {
+    setLogLevel(parseLogLevel(flags.str("log-level", "info")));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   const double seconds = flags.f64("seconds", 30.0);
   const auto maxRuns = flags.i64("max-runs", 0);
   const auto seed = static_cast<std::uint64_t>(flags.i64("seed", 1));
   const int minN = static_cast<int>(flags.i64("min-n", 24));
   const int maxN = static_cast<int>(flags.i64("max-n", 96));
+  if (minN < 3 || maxN < minN) {
+    std::fprintf(stderr,
+                 "error: need 3 <= --min-n <= --max-n (got %d and %d)\n", minN,
+                 maxN);
+    return 2;
+  }
   const std::string dumpDir = flags.str("dump-dir", ".");
   const auto validateEvery = flags.i64("validate-every", 50);
   const unsigned hw = std::thread::hardware_concurrency();
@@ -87,8 +102,12 @@ int main(int argc, char** argv) {
       const DfaResult result = runDfa(std::move(q0), schedule, {});
       pushes += result.pushesApplied;
 
-      if (validateEvery > 0 && run % validateEvery == 0)
+      if (validateEvery > 0 && run % validateEvery == 0) {
         result.final.validateCounters();
+        PUSHPART_LOG(kDebug) << "run " << run << ": n=" << n << " ratio="
+                             << ratio.str() << " pushes="
+                             << result.pushesApplied << " counters ok";
+      }
 
       const ArchetypeInfo info = classifyArchetype(result.final);
       {

@@ -6,11 +6,18 @@
 //   pushpart recommend --n=120 --ratio=10:1:1 [--algo=SCB] [--topology=full]
 //                      [--bandwidth-mbs=1000] [--flops=1e9] [--out=shape.pp]
 //   pushpart plan      --in=shape.pp [--csv=plan.csv]
+//   pushpart faults    --in=shape.pp --ratio=5:2:1 [--algo=SCB] [--drop=0.05]
+//                      [--death-proc=R] [--death-frac=0.5 | --death-at=<s>]
+//                      [--seed=1] [--timeout=1e-3] [--max-attempts=8]
+//                      [--no-rebalance]
 //
 // `search` runs one randomized DFA condensation and (optionally) saves the
 // condensed partition in the pushpart-partition v1 text format; `classify`,
 // `voc` and `plan` operate on saved partitions; `recommend` ranks the six
-// canonical candidates for a machine and can save the winner.
+// canonical candidates for a machine and can save the winner; `faults`
+// replays a saved partition through the fault-injected simulator and reports
+// the retry/recovery behaviour next to the fault-free baseline. All commands
+// accept --log-level=debug|info|warn|error.
 #include <cstdio>
 #include <iostream>
 #include <stdexcept>
@@ -24,8 +31,10 @@
 #include "model/optimal.hpp"
 #include "plan/comm_plan.hpp"
 #include "shapes/archetype.hpp"
+#include "sim/mmm_sim.hpp"
 #include "support/csv.hpp"
 #include "support/flags.hpp"
+#include "support/log.hpp"
 #include "support/table.hpp"
 
 using namespace pushpart;
@@ -40,8 +49,29 @@ int usage() {
       "  voc       --in=shape.pp\n"
       "  recommend --n=120 --ratio=10:1:1 [--algo=SCB] [--topology=full|star]\n"
       "            [--bandwidth-mbs=1000] [--flops=1e9] [--out=shape.pp]\n"
-      "  plan      --in=shape.pp [--csv=plan.csv]\n";
+      "  plan      --in=shape.pp [--csv=plan.csv]\n"
+      "  faults    --in=shape.pp --ratio=5:2:1 [--algo=SCB] [--drop=0.05]\n"
+      "            [--death-proc=R] [--death-frac=0.5 | --death-at=<s>]\n"
+      "            [--seed=1] [--timeout=1e-3] [--max-attempts=8]\n"
+      "            [--no-rebalance]\n"
+      "global: --log-level=debug|info|warn|error\n";
   return 2;
+}
+
+Algo parseAlgo(const Flags& flags, const char* fallback) {
+  const std::string algoStr = flags.str("algo", fallback);
+  for (Algo a : kAllAlgos)
+    if (algoStr == algoName(a)) return a;
+  throw std::invalid_argument("unknown --algo=" + algoStr);
+}
+
+Machine machineFromFlags(const Flags& flags, const char* defaultRatio) {
+  Machine machine;
+  machine.ratio = Ratio::parse(flags.str("ratio", defaultRatio));
+  machine.sendElementSeconds =
+      8.0 / (flags.f64("bandwidth-mbs", 1000.0) * 1e6);
+  machine.baseFlopSeconds = 1.0 / flags.f64("flops", 1e9);
+  return machine;
 }
 
 Partition loadInput(const Flags& flags) {
@@ -99,20 +129,8 @@ int cmdVoc(const Flags& flags) {
 
 int cmdRecommend(const Flags& flags) {
   const int n = static_cast<int>(flags.i64("n", 120));
-  Machine machine;
-  machine.ratio = Ratio::parse(flags.str("ratio", "10:1:1"));
-  machine.sendElementSeconds =
-      8.0 / (flags.f64("bandwidth-mbs", 1000.0) * 1e6);
-  machine.baseFlopSeconds = 1.0 / flags.f64("flops", 1e9);
-  const std::string algoStr = flags.str("algo", "SCB");
-  Algo algo = Algo::kSCB;
-  bool known = false;
-  for (Algo a : kAllAlgos)
-    if (algoStr == algoName(a)) {
-      algo = a;
-      known = true;
-    }
-  if (!known) throw std::invalid_argument("unknown --algo=" + algoStr);
+  const Machine machine = machineFromFlags(flags, "10:1:1");
+  const Algo algo = parseAlgo(flags, "SCB");
   const Topology topology = flags.str("topology", "full") == "star"
                                 ? Topology::kStar
                                 : Topology::kFullyConnected;
@@ -169,6 +187,72 @@ int cmdPlan(const Flags& flags) {
   return 0;
 }
 
+int cmdFaults(const Flags& flags) {
+  const Partition q = loadInput(flags);
+  SimOptions options;
+  options.machine = machineFromFlags(flags, "5:2:1");
+  options.topology = flags.str("topology", "full") == "star"
+                         ? Topology::kStar
+                         : Topology::kFullyConnected;
+  const Algo algo = parseAlgo(flags, "SCB");
+
+  const SimResult baseline = simulateMMM(algo, q, options);
+  std::printf("fault-free baseline: exec %.6gs (comm %.6gs)\n",
+              baseline.execSeconds, baseline.commSeconds);
+
+  options.faults.seed = static_cast<std::uint64_t>(flags.i64("seed", 1));
+  options.faults.dropProbability = flags.f64("drop", 0.0);
+  if (flags.has("death-proc")) {
+    const std::string name = flags.str("death-proc", "R");
+    ProcDeath death;
+    if (name == "R") death.proc = Proc::R;
+    else if (name == "S") death.proc = Proc::S;
+    else if (name == "P") death.proc = Proc::P;
+    else throw std::invalid_argument("unknown --death-proc=" + name);
+    death.at = flags.has("death-at")
+                   ? flags.f64("death-at", 0.0)
+                   : baseline.execSeconds * flags.f64("death-frac", 0.5);
+    options.faults.death = death;
+  }
+  options.retry.timeoutSeconds = flags.f64("timeout", 1e-3);
+  options.retry.maxAttempts =
+      static_cast<int>(flags.i64("max-attempts", 8));
+  options.rebalanceOnDeath = !flags.b("no-rebalance", false);
+  if (!options.faults.enabled()) {
+    std::cerr << "nothing to inject: pass --drop and/or --death-proc\n";
+    return 1;
+  }
+
+  const SimResult r = simulateMMM(algo, q, options);
+  PUSHPART_LOG(kDebug) << "faulty run: " << r.network.messagesSent
+                       << " messages, " << r.network.elementsMoved
+                       << " element-hops";
+  std::printf("with faults:         exec %.6gs (comm %.6gs)  completed: %s\n",
+              r.execSeconds, r.commSeconds, r.completed ? "yes" : "NO");
+  std::printf(
+      "  drops %lld   retries %lld   abandoned %lld   dead-endpoint %lld\n",
+      static_cast<long long>(r.network.dropsInjected),
+      static_cast<long long>(r.network.retriesSent),
+      static_cast<long long>(r.network.transfersAbandoned),
+      static_cast<long long>(r.network.deadEndpointFailures));
+  if (r.recovery.processorDied) {
+    std::printf(
+        "  death: proc %c detected at %.6gs, failover at pivot %d/%d\n",
+        procName(r.recovery.deadProc), r.recovery.deathDetectedAt,
+        r.recovery.failoverPivot, q.n());
+    std::printf(
+        "  reassigned %lld cells, refetched %lld panels, plan verified: %s\n",
+        static_cast<long long>(r.recovery.reassignedElements),
+        static_cast<long long>(r.recovery.refetchedElements),
+        r.recovery.failoverPlanVerified ? "yes" : "NO");
+    std::printf("  VoC %lld -> %lld   recovery overhead %.6gs\n",
+                static_cast<long long>(r.recovery.vocBefore),
+                static_cast<long long>(r.recovery.vocAfter),
+                r.recovery.recoverySeconds);
+  }
+  return r.completed ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,11 +260,13 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Flags flags(argc - 1, argv + 1);
   try {
+    setLogLevel(parseLogLevel(flags.str("log-level", "info")));
     if (command == "search") return cmdSearch(flags);
     if (command == "classify") return cmdClassify(flags);
     if (command == "voc") return cmdVoc(flags);
     if (command == "recommend") return cmdRecommend(flags);
     if (command == "plan") return cmdPlan(flags);
+    if (command == "faults") return cmdFaults(flags);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
   } catch (const std::exception& e) {
