@@ -13,10 +13,20 @@ namespace pushpart {
 
 BatchSummary runBatch(const BatchOptions& options,
                       const std::function<void(const BatchRun&)>& onResult) {
-  PUSHPART_CHECK(options.runs >= 0);
+  PUSHPART_CHECK_MSG(options.runs >= 0,
+                     "BatchOptions.runs must be >= 0, got " << options.runs);
+  PUSHPART_CHECK_MSG(options.threads >= 0,
+                     "BatchOptions.threads must be >= 0 (0 = hardware "
+                     "concurrency), got " << options.threads);
   PUSHPART_CHECK(options.n > 0);
   PUSHPART_CHECK_MSG(options.ratio.valid(),
                      "invalid ratio " << options.ratio.str());
+  // Reject out-of-range (or NaN) fractions here with a precise message
+  // instead of letting rng.chance() see a nonsensical probability.
+  PUSHPART_CHECK_MSG(options.clusteredStartFraction >= 0.0 &&
+                         options.clusteredStartFraction <= 1.0,
+                     "BatchOptions.clusteredStartFraction must be in [0,1], "
+                     "got " << options.clusteredStartFraction);
 
   const unsigned hw = std::thread::hardware_concurrency();
   const int threads = options.threads > 0

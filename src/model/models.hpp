@@ -36,6 +36,10 @@ struct ModelResult {
   double overlapSeconds = 0.0;  ///< Computation overlapped with comm (SCO/PCO).
   double compSeconds = 0.0;     ///< Post-communication computation.
   double execSeconds = 0.0;     ///< Modeled total execution time.
+
+  /// Exact (bitwise) comparison — the serve cache guarantees hits replay the
+  /// cold computation's numbers verbatim.
+  friend bool operator==(const ModelResult&, const ModelResult&) = default;
 };
 
 /// Evaluates the Eq. 2–9 model for `algo` on `q`. The partition's element

@@ -1,0 +1,37 @@
+// The oracle's answer type, shared by both tiers.
+#pragma once
+
+#include <cstdint>
+
+#include "model/models.hpp"
+#include "serve/request.hpp"
+#include "shapes/candidates.hpp"
+
+namespace pushpart {
+
+/// One resolved plan: the recommended canonical shape plus the modeled cost
+/// evidence behind it. Cached verbatim — a cache hit returns the stored
+/// answer bit-for-bit, including the wall time of the cold solve that
+/// produced it (the *request* latency lives in PlanResponse).
+struct PlanAnswer {
+  CandidateShape shape = CandidateShape::kSquareCorner;  ///< Recommendation.
+  ModelResult model;        ///< Modeled timing of the recommended partition.
+  std::int64_t voc = 0;     ///< Volume of Communication of that partition.
+  PlanTier tier = PlanTier::kFast;  ///< Which tier produced the answer.
+  double solveSeconds = 0.0;  ///< Wall time of the underlying cold solve.
+
+  // Tier-B evidence (all zero for tier A): the budgeted DFA batch search
+  // cross-checks the candidate ranking the way the paper's §VII experiments
+  // validate §IX's shapes.
+  int searchRuns = 0;        ///< Walks requested.
+  int searchCompleted = 0;   ///< Walks that reached an accept state.
+  std::int64_t searchBestVoc = 0;       ///< Best VoC among searched finals.
+  double searchBestExecSeconds = 0.0;   ///< Best modeled time among finals.
+  /// True when no searched partition modeled faster than the recommended
+  /// candidate — the search *confirmed* the closed-form ranking.
+  bool searchConfirmedCandidate = false;
+
+  friend bool operator==(const PlanAnswer&, const PlanAnswer&) = default;
+};
+
+}  // namespace pushpart

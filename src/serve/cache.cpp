@@ -1,0 +1,99 @@
+#include "serve/cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pushpart {
+
+PlanCache::PlanCache(std::size_t capacity, std::size_t shards) {
+  if (capacity == 0)
+    throw std::invalid_argument("PlanCache: capacity must be positive");
+  if (shards == 0)
+    throw std::invalid_argument("PlanCache: shard count must be positive");
+  if (shards > capacity) shards = capacity;  // every shard holds >= 1 entry
+  perShardCapacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+PlanCache::Shard& PlanCache::shardFor(const CanonicalKey& key) {
+  return *shards_[key.hash % shards_.size()];
+}
+
+PlanCache::Outcome PlanCache::getOrCompute(
+    const CanonicalKey& key, const std::function<PlanAnswer()>& solve) {
+  Shard& shard = shardFor(key);
+
+  std::shared_future<PlanAnswer> wait;
+  std::promise<PlanAnswer> mine;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto it = shard.index.find(key.text); it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return Outcome{it->second->answer, /*hit=*/true, /*coalesced=*/false};
+    }
+    if (auto it = shard.inflight.find(key.text); it != shard.inflight.end()) {
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      wait = it->second;
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      shard.inflight.emplace(key.text, mine.get_future().share());
+    }
+  }
+
+  if (wait.valid())  // joined someone else's solve; get() rethrows failures
+    return Outcome{wait.get(), /*hit=*/false, /*coalesced=*/true};
+
+  // We own the solve. Run it unlocked so other shards — and other keys in
+  // this shard — keep serving.
+  try {
+    PlanAnswer answer = solve();
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.inflight.erase(key.text);
+      // A clear() may have raced us, but no other thread can have inserted
+      // this key (they'd have coalesced); insert fresh.
+      shard.lru.push_front(Entry{key.text, answer});
+      shard.index[key.text] = shard.lru.begin();
+      while (shard.lru.size() > perShardCapacity_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    mine.set_value(answer);
+    return Outcome{std::move(answer), /*hit=*/false, /*coalesced=*/false};
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.inflight.erase(key.text);
+    }
+    mine.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+PlanCache::Counters PlanCache::counters() const {
+  Counters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.coalesced = coalesced_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    c.entries += shard->lru.size();
+  }
+  return c;
+}
+
+void PlanCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace pushpart

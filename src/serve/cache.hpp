@@ -1,0 +1,90 @@
+// Sharded LRU result cache with in-flight request coalescing.
+//
+// The serving layer's hot path: map a canonical key to its PlanAnswer while
+// (a) bounding memory with per-shard LRU eviction and (b) guaranteeing that
+// concurrent identical requests trigger exactly one underlying solve — the
+// first requester computes, everyone else blocks on a shared future of the
+// same computation ("singleflight"). Shards are selected by the key's FNV
+// hash; each shard has its own mutex, so unrelated keys never contend.
+//
+// A solve that throws propagates the exception to the initiating caller and
+// every coalesced waiter, and caches nothing: the next request for that key
+// retries the computation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/answer.hpp"
+#include "serve/request.hpp"
+
+namespace pushpart {
+
+class PlanCache {
+ public:
+  /// `capacity` answers total, spread over `shards` independently-locked
+  /// shards (each holds at least one entry). Throws std::invalid_argument
+  /// when capacity or shards is zero.
+  PlanCache(std::size_t capacity, std::size_t shards);
+
+  /// How a lookup was satisfied.
+  struct Outcome {
+    PlanAnswer answer;
+    bool hit = false;        ///< Served from the cache, no solve.
+    bool coalesced = false;  ///< Waited on another thread's in-flight solve.
+  };
+
+  /// Returns the cached answer for `key`, or runs `solve` to produce (and
+  /// cache) it. Concurrent calls with the same key while a solve is in
+  /// flight block on that solve's result instead of recomputing.
+  Outcome getOrCompute(const CanonicalKey& key,
+                       const std::function<PlanAnswer()>& solve);
+
+  /// Monotonic counters across the cache's lifetime.
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;     ///< Lookups that ran the solve themselves.
+    std::uint64_t coalesced = 0;  ///< Lookups that joined an in-flight solve.
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;      ///< Current resident answers.
+  };
+  Counters counters() const;
+
+  /// Drops every cached entry (in-flight solves are unaffected; they insert
+  /// into the emptied cache when they land). Counters keep accumulating.
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    PlanAnswer answer;
+  };
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    /// Solves currently running, by key; waiters share the future.
+    std::unordered_map<std::string, std::shared_future<PlanAnswer>> inflight;
+  };
+
+  Shard& shardFor(const CanonicalKey& key);
+
+  std::size_t perShardCapacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace pushpart

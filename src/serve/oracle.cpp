@@ -1,0 +1,101 @@
+#include "serve/oracle.hpp"
+
+#include <utility>
+
+#include "dfa/batch.hpp"
+#include "model/optimal.hpp"
+#include "support/stopwatch.hpp"
+
+namespace pushpart {
+
+Oracle::Oracle(OracleOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cacheCapacity, options_.cacheShards) {}
+
+PlanAnswer Oracle::solveCanonical(const CanonicalKey& key) const {
+  const PlanRequest& req = key.request;
+  Machine machine = options_.machine;
+  machine.ratio = req.ratio;
+
+  Stopwatch timer;
+  const RankedCandidate best =
+      selectOptimal(req.algo, req.n, machine, req.topology, req.star);
+
+  PlanAnswer answer;
+  answer.shape = best.shape;
+  answer.model = best.model;
+  answer.voc = best.voc;
+  answer.tier = req.tier;
+
+  if (req.tier == PlanTier::kSearch) {
+    BatchOptions batch;
+    batch.n = req.n;
+    batch.ratio = req.ratio;
+    batch.runs = req.searchRuns;
+    batch.threads = options_.searchThreads;
+    batch.seed = req.searchSeed;
+
+    double bestExec = 0.0;
+    std::int64_t bestVoc = 0;
+    bool any = false;
+    runBatch(batch, [&](const BatchRun& run) {
+      const ModelResult m = evalModel(req.algo, run.result.final, machine,
+                                      req.topology, req.star);
+      if (!any || m.execSeconds < bestExec) {
+        any = true;
+        bestExec = m.execSeconds;
+        bestVoc = run.result.final.volumeOfCommunication();
+      }
+      ++answer.searchCompleted;
+    });
+    answer.searchRuns = req.searchRuns;
+    answer.searchBestVoc = bestVoc;
+    answer.searchBestExecSeconds = bestExec;
+    // The search "confirms" the closed-form ranking when no condensed walk
+    // modeled faster than the recommended candidate (the paper's §VII
+    // outcome). An empty batch confirms nothing.
+    answer.searchConfirmedCandidate =
+        any && bestExec >= answer.model.execSeconds;
+  }
+
+  answer.solveSeconds = timer.seconds();
+  return answer;
+}
+
+PlanResponse Oracle::plan(const PlanRequest& req) {
+  Stopwatch timer;
+  const CanonicalKey key = canonicalize(req);
+
+  const PlanCache::Outcome outcome =
+      cache_.getOrCompute(key, [this, &key]() {
+        if (options_.onSolveStart) options_.onSolveStart(key);
+        PlanAnswer answer = solveCanonical(key);
+        (answer.tier == PlanTier::kSearch ? tierBSolves_ : tierASolves_)
+            .record(answer.solveSeconds);
+        return answer;
+      });
+
+  PlanResponse response;
+  response.answer = outcome.answer;
+  response.cacheHit = outcome.hit;
+  response.coalesced = outcome.coalesced;
+  response.latencySeconds = timer.seconds();
+  response.key = key.text;
+  if (outcome.hit) hitLatency_.record(response.latencySeconds);
+  return response;
+}
+
+PlanAnswer Oracle::solveUncached(const PlanRequest& req) const {
+  return solveCanonical(canonicalize(req));
+}
+
+OracleStats Oracle::stats() const {
+  OracleStats s;
+  s.cache = cache_.counters();
+  s.hitLatency = hitLatency_.snapshot();
+  s.tierASolves = tierASolves_.snapshot();
+  s.tierBSolves = tierBSolves_.snapshot();
+  return s;
+}
+
+}  // namespace pushpart

@@ -1,0 +1,96 @@
+// The partition-plan oracle: a thread-safe serving layer over the search
+// stack (paper §IX candidates + §V–§VII DFA search).
+//
+// One Oracle instance owns a machine model, a sharded LRU answer cache with
+// in-flight coalescing, and per-tier latency histograms. plan() is the whole
+// API: canonicalize the request, serve from cache when possible, otherwise
+// solve on the requested tier —
+//
+//   tier A (fast):   rank the six canonical candidates by modeled time
+//                    (model/optimal.hpp) and recommend the winner;
+//   tier B (search): tier A plus a budgeted, seeded DFA batch
+//                    (dfa/batch.hpp) whose condensed finals cross-check the
+//                    candidate ranking, mirroring how the paper's §VII
+//                    experiments validate §IX's shapes.
+//
+// Answers are deterministic for a canonical key (tier B runs its batch
+// single-threaded on a fixed seed by default), so a cache hit is
+// bit-identical to the cold computation it replays.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "model/machine.hpp"
+#include "serve/answer.hpp"
+#include "serve/cache.hpp"
+#include "serve/request.hpp"
+#include "support/histogram.hpp"
+
+namespace pushpart {
+
+struct OracleOptions {
+  /// Machine constants shared by every request (per-request state is the
+  /// speed ratio; a cache is only coherent for one machine model).
+  Machine machine{};
+  std::size_t cacheCapacity = 4096;
+  std::size_t cacheShards = 16;
+  /// Worker threads for a tier-B batch. 1 keeps the batch deterministic and
+  /// avoids thread explosions when the oracle itself is called from many
+  /// threads; raise it only for single-client, huge-budget use.
+  int searchThreads = 1;
+  /// Observability hook: invoked at the start of every underlying (cold)
+  /// solve with the canonical key. Runs on the solving thread, outside any
+  /// cache lock. Also what makes coalescing deterministically testable.
+  std::function<void(const CanonicalKey&)> onSolveStart;
+};
+
+/// What one plan() call experienced (the answer plus serving metadata).
+struct PlanResponse {
+  PlanAnswer answer;
+  bool cacheHit = false;
+  bool coalesced = false;
+  double latencySeconds = 0.0;  ///< End-to-end, as seen by this caller.
+  std::string key;              ///< Canonical key text.
+};
+
+/// Cache counters plus per-tier latency distributions.
+struct OracleStats {
+  PlanCache::Counters cache;
+  LatencyHistogram::Snapshot hitLatency;    ///< plan() calls served by cache.
+  LatencyHistogram::Snapshot tierASolves;   ///< Cold tier-A solve times.
+  LatencyHistogram::Snapshot tierBSolves;   ///< Cold tier-B solve times.
+};
+
+class Oracle {
+ public:
+  explicit Oracle(OracleOptions options = {});
+
+  Oracle(const Oracle&) = delete;
+  Oracle& operator=(const Oracle&) = delete;
+
+  /// Answers `req`, consulting the cache first. Thread-safe. Throws
+  /// std::invalid_argument for malformed requests and std::runtime_error
+  /// when no candidate is feasible (degenerate n); failures are never
+  /// cached.
+  PlanResponse plan(const PlanRequest& req);
+
+  /// Computes `req`'s answer with no cache interaction — the cold path,
+  /// exposed for verification and benchmarking.
+  PlanAnswer solveUncached(const PlanRequest& req) const;
+
+  OracleStats stats() const;
+
+  const OracleOptions& options() const { return options_; }
+
+ private:
+  PlanAnswer solveCanonical(const CanonicalKey& key) const;
+
+  OracleOptions options_;
+  PlanCache cache_;
+  LatencyHistogram hitLatency_;
+  LatencyHistogram tierASolves_;
+  LatencyHistogram tierBSolves_;
+};
+
+}  // namespace pushpart

@@ -1,0 +1,80 @@
+#include "support/histogram.hpp"
+
+#include <cmath>
+
+namespace pushpart {
+
+namespace {
+constexpr double kFloorSeconds = 1e-9;  // bucket 0 lower bound
+constexpr double kLog2Growth = 0.25;    // buckets grow by 2^(1/4)
+}  // namespace
+
+double LatencyHistogram::bucketFloor(int i) {
+  return kFloorSeconds * std::exp2(kLog2Growth * i);
+}
+
+int LatencyHistogram::bucketFor(double seconds) {
+  if (!(seconds > kFloorSeconds)) return 0;  // also catches NaN / negatives
+  const int i =
+      static_cast<int>(std::floor(std::log2(seconds / kFloorSeconds) /
+                                  kLog2Growth));
+  return i >= kBuckets ? kBuckets - 1 : i;
+}
+
+void LatencyHistogram::record(double seconds) {
+  counts_[static_cast<std::size_t>(bucketFor(seconds))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::percentile(double q) const {
+  std::array<std::uint64_t, kBuckets> local{};
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    local[static_cast<std::size_t>(i)] =
+        counts_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += local[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based (q = 0 -> first sample).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += local[static_cast<std::size_t>(i)];
+    if (seen >= target) {
+      // Geometric midpoint of [floor(i), floor(i+1)).
+      return bucketFloor(i) * std::exp2(kLog2Growth * 0.5);
+    }
+  }
+  return bucketFloor(kBuckets - 1);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c =
+        counts_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    s.count += c;
+    s.sumSeconds += static_cast<double>(c) * bucketFloor(i) *
+                    std::exp2(kLog2Growth * 0.5);
+  }
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pushpart

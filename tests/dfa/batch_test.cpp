@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "support/check.hpp"
@@ -61,6 +63,55 @@ TEST(BatchTest, InvalidRatioRejected) {
   BatchOptions opts;
   opts.ratio = Ratio{1, 2, 1};  // R faster than P violates §IV assumption 2
   EXPECT_THROW(runBatch(opts, [](const BatchRun&) {}), CheckError);
+}
+
+TEST(BatchTest, NegativeRunsRejectedWithPreciseMessage) {
+  BatchOptions opts;
+  opts.runs = -3;
+  try {
+    runBatch(opts, [](const BatchRun&) {});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("runs"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos);
+  }
+}
+
+TEST(BatchTest, NegativeThreadsRejectedWithPreciseMessage) {
+  BatchOptions opts;
+  opts.threads = -2;
+  try {
+    runBatch(opts, [](const BatchRun&) {});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("threads"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-2"), std::string::npos);
+  }
+}
+
+TEST(BatchTest, ClusteredStartFractionOutsideUnitIntervalRejected) {
+  for (double bad : {-0.1, 1.5, std::numeric_limits<double>::quiet_NaN()}) {
+    BatchOptions opts;
+    opts.clusteredStartFraction = bad;
+    try {
+      runBatch(opts, [](const BatchRun&) {});
+      FAIL() << "expected CheckError for clusteredStartFraction=" << bad;
+    } catch (const CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find("clusteredStartFraction"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(BatchTest, UnitIntervalEndpointsAccepted) {
+  for (double ok : {0.0, 1.0}) {
+    BatchOptions opts;
+    opts.n = 8;
+    opts.runs = 2;
+    opts.clusteredStartFraction = ok;
+    const BatchSummary summary = runBatch(opts, [](const BatchRun&) {});
+    EXPECT_TRUE(summary.allCompleted());
+  }
 }
 
 TEST(BatchTest, CallbackExceptionRecordedNotRethrown) {

@@ -52,6 +52,73 @@ TEST(SelectOptimalTest, WinnerHasMinimalVoCAmongTies) {
     EXPECT_LE(ranked[i - 1].voc, ranked[i].voc);
 }
 
+TEST(SelectOptimalTest, DegenerateNThrows) {
+  // n = 1: one cell cannot be split across three processors, so no candidate
+  // is feasible and selectOptimal must refuse with a message naming n.
+  try {
+    selectOptimal(Algo::kSCB, 1, machineWith(Ratio{5, 2, 1}));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("n=1"), std::string::npos);
+  }
+  EXPECT_TRUE(rankCandidates(Algo::kSCB, 1, machineWith(Ratio{5, 2, 1}))
+                  .empty());
+}
+
+TEST(RankCandidatesTest, EqualTimesBreakTiesInCanonicalOrder) {
+  // A zero-cost machine models every candidate at exactly 0 s — a six-way
+  // tie. The stable sort must then preserve the kAllCandidates enumeration
+  // order, making the winner deterministic rather than
+  // implementation-defined.
+  Machine free = machineWith(Ratio{5, 2, 1});
+  free.alphaSeconds = 0.0;
+  free.sendElementSeconds = 0.0;
+  free.baseFlopSeconds = 0.0;
+  const auto ranked = rankCandidates(Algo::kSCB, 90, free);
+  ASSERT_GE(ranked.size(), 2u);
+  for (const auto& r : ranked) EXPECT_EQ(r.model.execSeconds, 0.0);
+  std::size_t cursor = 0;
+  for (CandidateShape shape : kAllCandidates) {
+    if (cursor < ranked.size() && ranked[cursor].shape == shape) ++cursor;
+  }
+  EXPECT_EQ(cursor, ranked.size())
+      << "tied candidates not in canonical enumeration order";
+  const auto again = rankCandidates(Algo::kSCB, 90, free);
+  for (std::size_t i = 0; i < ranked.size(); ++i)
+    EXPECT_EQ(ranked[i].shape, again[i].shape);
+}
+
+TEST(SelectOptimalTest, ScaledRatiosPickTheSameShape) {
+  // 6:3:3 describes the same *partitioning problem* as 2:1:1: identical
+  // fractions, so identical candidate partitions and identical per-candidate
+  // VoC. In a Machine, though, speeds are anchored by baseFlopSeconds (S at
+  // speed 1), so scaling the ratio also speeds up the physical machine;
+  // under the barrier algorithms the winner depends only on communication
+  // (computation is identical across candidates) and must not move. The
+  // serve layer's canonicalization (normalize to s = 1 before solving)
+  // builds on exactly this invariance.
+  for (Algo algo : {Algo::kSCB, Algo::kPCB}) {
+    const auto a = selectOptimal(algo, 120, machineWith(Ratio{2, 1, 1}));
+    const auto b = selectOptimal(algo, 120, machineWith(Ratio{6, 3, 3}));
+    EXPECT_EQ(a.shape, b.shape) << algoName(algo);
+    EXPECT_EQ(a.voc, b.voc) << algoName(algo);
+  }
+  // The candidate set itself is scale-invariant for every algorithm: same
+  // shapes in some order, with pairwise-equal VoC per shape.
+  for (Algo algo : kAllAlgos) {
+    const auto a = rankCandidates(algo, 120, machineWith(Ratio{2, 1, 1}));
+    const auto b = rankCandidates(algo, 120, machineWith(Ratio{6, 3, 3}));
+    ASSERT_EQ(a.size(), b.size()) << algoName(algo);
+    for (const auto& ra : a) {
+      bool found = false;
+      for (const auto& rb : b)
+        found = found || (ra.shape == rb.shape && ra.voc == rb.voc);
+      EXPECT_TRUE(found) << algoName(algo) << " "
+                         << candidateName(ra.shape);
+    }
+  }
+}
+
 TEST(SelectOptimalTest, StarTopologyCanChangeWinner) {
   // Not asserting a specific flip, but the machinery must accept topology
   // and produce a ranking either way.

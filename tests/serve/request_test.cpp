@@ -1,0 +1,134 @@
+#include "serve/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pushpart {
+namespace {
+
+TEST(CanonicalizeTest, ScaledRatiosShareOneKey) {
+  PlanRequest a;
+  a.n = 1000;
+  a.ratio = Ratio{2, 1, 1};
+  PlanRequest b = a;
+  b.ratio = Ratio{6, 3, 3};
+  EXPECT_EQ(canonicalize(a).text, canonicalize(b).text);
+  EXPECT_EQ(canonicalize(a).hash, canonicalize(b).hash);
+  EXPECT_EQ(canonicalize(b).request.ratio, (Ratio{2, 1, 1}));
+}
+
+TEST(CanonicalizeTest, RSwapFoldsOntoOneKey) {
+  PlanRequest a;
+  a.ratio = Ratio{5, 2, 1};
+  PlanRequest b = a;
+  b.ratio = Ratio{5, 1, 2};  // same machine, R and S labels exchanged
+  EXPECT_EQ(canonicalize(a).text, canonicalize(b).text);
+}
+
+TEST(CanonicalizeTest, RSwapRelabelsStarHub) {
+  PlanRequest req;
+  req.ratio = Ratio{5, 1, 2};
+  req.topology = Topology::kStar;
+  req.star.hub = Proc::R;  // the speed-1 processor hosts the hub
+  const CanonicalKey key = canonicalize(req);
+  // After the swap the speed-1 processor is labeled S; the hub must follow.
+  EXPECT_EQ(key.request.star.hub, Proc::S);
+  EXPECT_EQ(key.request.ratio, (Ratio{5, 2, 1}));
+}
+
+TEST(CanonicalizeTest, HubIrrelevantOnFullyConnected) {
+  PlanRequest a;
+  a.star.hub = Proc::R;
+  PlanRequest b;
+  b.star.hub = Proc::S;
+  EXPECT_EQ(canonicalize(a).text, canonicalize(b).text);
+}
+
+TEST(CanonicalizeTest, HubDistinguishesStarKeys) {
+  PlanRequest a;
+  a.topology = Topology::kStar;
+  a.star.hub = Proc::P;
+  PlanRequest b = a;
+  b.star.hub = Proc::R;
+  EXPECT_NE(canonicalize(a).text, canonicalize(b).text);
+}
+
+TEST(CanonicalizeTest, FastTierIgnoresSearchBudget) {
+  PlanRequest a;
+  a.tier = PlanTier::kFast;
+  a.searchRuns = 100;
+  a.searchSeed = 7;
+  PlanRequest b;
+  b.tier = PlanTier::kFast;
+  b.searchRuns = 3;
+  b.searchSeed = 99;
+  EXPECT_EQ(canonicalize(a).text, canonicalize(b).text);
+  EXPECT_EQ(canonicalize(a).request.searchRuns, 0);
+}
+
+TEST(CanonicalizeTest, SearchTierKeysOnBudgetAndSeed) {
+  PlanRequest a;
+  a.tier = PlanTier::kSearch;
+  a.searchRuns = 8;
+  PlanRequest b = a;
+  b.searchRuns = 16;
+  PlanRequest c = a;
+  c.searchSeed = 2;
+  EXPECT_NE(canonicalize(a).text, canonicalize(b).text);
+  EXPECT_NE(canonicalize(a).text, canonicalize(c).text);
+}
+
+TEST(CanonicalizeTest, FloatNoiseCannotSplitEntries) {
+  PlanRequest a;
+  a.ratio = Ratio{10, 3, 3};  // 10/3 is not representable exactly
+  PlanRequest b;
+  b.ratio = Ratio{10.0 / 3.0, 1, 1};
+  EXPECT_EQ(canonicalize(a).text, canonicalize(b).text);
+}
+
+TEST(CanonicalizeTest, MalformedRequestsRejected) {
+  PlanRequest bad;
+  bad.n = 0;
+  EXPECT_THROW(canonicalize(bad), std::invalid_argument);
+
+  bad = PlanRequest{};
+  bad.ratio = Ratio{1, 2, 1};  // P not the fastest
+  EXPECT_THROW(canonicalize(bad), std::invalid_argument);
+
+  bad = PlanRequest{};
+  bad.ratio = Ratio{2, -1, 1};
+  EXPECT_THROW(canonicalize(bad), std::invalid_argument);
+
+  bad = PlanRequest{};
+  bad.tier = PlanTier::kSearch;
+  bad.searchRuns = 0;
+  EXPECT_THROW(canonicalize(bad), std::invalid_argument);
+}
+
+TEST(CanonicalizeTest, DistinctQuestionsKeepDistinctKeys) {
+  PlanRequest base;
+  PlanRequest byN = base;
+  byN.n = base.n + 1;
+  PlanRequest byAlgo = base;
+  byAlgo.algo = Algo::kPIO;
+  PlanRequest byTier = base;
+  byTier.tier = PlanTier::kSearch;
+  PlanRequest byTopo = base;
+  byTopo.topology = Topology::kStar;
+  const std::string k = canonicalize(base).text;
+  EXPECT_NE(k, canonicalize(byN).text);
+  EXPECT_NE(k, canonicalize(byAlgo).text);
+  EXPECT_NE(k, canonicalize(byTier).text);
+  EXPECT_NE(k, canonicalize(byTopo).text);
+}
+
+TEST(Fnv1aTest, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace pushpart

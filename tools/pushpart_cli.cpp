@@ -5,7 +5,10 @@
 //   pushpart voc       --in=shape.pp
 //   pushpart recommend --n=120 --ratio=10:1:1 [--algo=SCB] [--topology=full]
 //                      [--bandwidth-mbs=1000] [--flops=1e9] [--out=shape.pp]
-//   pushpart plan      --in=shape.pp [--csv=plan.csv]
+//   pushpart plan      --n=1000 --ratio=5:2:1 [--algo=SCB] [--tier=fast|search]
+//                      [--runs=16] [--seed=1] [--topology=full|star] [--hub=P]
+//                      [--bandwidth-mbs=1000] [--flops=1e9] [--repl]
+//   pushpart commplan  --in=shape.pp [--csv=plan.csv]
 //   pushpart faults    --in=shape.pp --ratio=5:2:1 [--algo=SCB] [--drop=0.05]
 //                      [--death-proc=R] [--death-frac=0.5 | --death-at=<s>]
 //                      [--seed=1] [--timeout=1e-3] [--max-attempts=8]
@@ -13,15 +16,21 @@
 //
 // `search` runs one randomized DFA condensation and (optionally) saves the
 // condensed partition in the pushpart-partition v1 text format; `classify`,
-// `voc` and `plan` operate on saved partitions; `recommend` ranks the six
-// canonical candidates for a machine and can save the winner; `faults`
-// replays a saved partition through the fault-injected simulator and reports
-// the retry/recovery behaviour next to the fault-free baseline. All commands
+// `voc` and `commplan` operate on saved partitions; `recommend` ranks the
+// six canonical candidates for a machine and can save the winner; `plan`
+// asks the serving-layer oracle (src/serve) for the optimal shape — cached,
+// canonicalized, tier A (ranked candidates) or tier B (candidates
+// cross-checked by a budgeted DFA search) — and with --repl answers one
+// request per stdin line against a shared cache; `faults` replays a saved
+// partition through the fault-injected simulator and reports the
+// retry/recovery behaviour next to the fault-free baseline. All commands
 // accept --log-level=debug|info|warn|error.
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "dfa/dfa.hpp"
 #include "grid/builder.hpp"
@@ -30,6 +39,7 @@
 #include "grid/serialize.hpp"
 #include "model/optimal.hpp"
 #include "plan/comm_plan.hpp"
+#include "serve/oracle.hpp"
 #include "shapes/archetype.hpp"
 #include "sim/mmm_sim.hpp"
 #include "support/csv.hpp"
@@ -49,7 +59,10 @@ int usage() {
       "  voc       --in=shape.pp\n"
       "  recommend --n=120 --ratio=10:1:1 [--algo=SCB] [--topology=full|star]\n"
       "            [--bandwidth-mbs=1000] [--flops=1e9] [--out=shape.pp]\n"
-      "  plan      --in=shape.pp [--csv=plan.csv]\n"
+      "  plan      --n=1000 --ratio=5:2:1 [--algo=SCB] [--tier=fast|search]\n"
+      "            [--runs=16] [--seed=1] [--topology=full|star] [--hub=P]\n"
+      "            [--bandwidth-mbs=1000] [--flops=1e9] [--repl]\n"
+      "  commplan  --in=shape.pp [--csv=plan.csv]\n"
       "  faults    --in=shape.pp --ratio=5:2:1 [--algo=SCB] [--drop=0.05]\n"
       "            [--death-proc=R] [--death-frac=0.5 | --death-at=<s>]\n"
       "            [--seed=1] [--timeout=1e-3] [--max-attempts=8]\n"
@@ -154,7 +167,111 @@ int cmdRecommend(const Flags& flags) {
   return 0;
 }
 
-int cmdPlan(const Flags& flags) {
+PlanRequest planRequestFromFlags(const Flags& flags) {
+  PlanRequest req;
+  req.n = static_cast<int>(flags.i64("n", 1000));
+  req.ratio = Ratio::parse(flags.str("ratio", "5:2:1"));
+  req.algo = parseAlgo(flags, "SCB");
+  req.topology = flags.str("topology", "full") == "star"
+                     ? Topology::kStar
+                     : Topology::kFullyConnected;
+  const std::string hub = flags.str("hub", "P");
+  if (hub == "P") req.star.hub = Proc::P;
+  else if (hub == "R") req.star.hub = Proc::R;
+  else if (hub == "S") req.star.hub = Proc::S;
+  else throw std::invalid_argument("unknown --hub=" + hub);
+  const std::string tier = flags.str("tier", "fast");
+  if (tier == "fast") req.tier = PlanTier::kFast;
+  else if (tier == "search") req.tier = PlanTier::kSearch;
+  else throw std::invalid_argument("unknown --tier=" + tier +
+                                   " (expected fast or search)");
+  req.searchRuns = static_cast<int>(flags.i64("runs", 16));
+  req.searchSeed = static_cast<std::uint64_t>(flags.i64("seed", 1));
+  return req;
+}
+
+void printPlanResponse(const PlanResponse& r) {
+  std::printf("%s\n", r.key.c_str());
+  std::printf(
+      "  shape=%s exec=%gs voc=%lld tier=%s %s latency=%gus\n",
+      candidateName(r.answer.shape), r.answer.model.execSeconds,
+      static_cast<long long>(r.answer.voc), planTierName(r.answer.tier),
+      r.cacheHit ? "hit" : (r.coalesced ? "coalesced" : "miss"),
+      r.latencySeconds * 1e6);
+  if (r.answer.tier == PlanTier::kSearch)
+    std::printf("  search: %d/%d walks, best exec %gs voc %lld — %s\n",
+                r.answer.searchCompleted, r.answer.searchRuns,
+                r.answer.searchBestExecSeconds,
+                static_cast<long long>(r.answer.searchBestVoc),
+                r.answer.searchConfirmedCandidate
+                    ? "candidate ranking confirmed"
+                    : "search modeled faster than candidates");
+}
+
+void printOracleStats(const OracleStats& s) {
+  std::printf(
+      "cache: %llu hits, %llu misses, %llu coalesced, %llu evictions, "
+      "%zu resident\n",
+      static_cast<unsigned long long>(s.cache.hits),
+      static_cast<unsigned long long>(s.cache.misses),
+      static_cast<unsigned long long>(s.cache.coalesced),
+      static_cast<unsigned long long>(s.cache.evictions), s.cache.entries);
+  const auto line = [](const char* name,
+                       const LatencyHistogram::Snapshot& h) {
+    if (h.count == 0) return;
+    std::printf("%s: n=%llu p50=%gus p95=%gus p99=%gus\n", name,
+                static_cast<unsigned long long>(h.count), h.p50 * 1e6,
+                h.p95 * 1e6, h.p99 * 1e6);
+  };
+  line("hit latency", s.hitLatency);
+  line("tier-A solve", s.tierASolves);
+  line("tier-B solve", s.tierBSolves);
+}
+
+int cmdPlanOracle(const Flags& flags) {
+  OracleOptions options;
+  options.machine = machineFromFlags(flags, "5:2:1");
+  Oracle oracle(options);
+
+  if (!flags.b("repl", false)) {
+    printPlanResponse(oracle.plan(planRequestFromFlags(flags)));
+    return 0;
+  }
+
+  // REPL: one request per stdin line, `key=value` tokens (with or without
+  // the leading --), e.g. `n=300 ratio=3:1:1 algo=SCO tier=search runs=8`.
+  // Blank lines and #-comments are skipped; a bad line reports its error
+  // and the loop carries on. EOF prints the session's serving stats.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tokens{"repl"};  // argv[0] slot Flags skips
+    std::istringstream split(line);
+    for (std::string tok; split >> tok;)
+      tokens.push_back(tok.rfind("--", 0) == 0 ? tok : "--" + tok);
+    std::vector<const char*> argv;
+    argv.reserve(tokens.size());
+    for (const auto& t : tokens) argv.push_back(t.c_str());
+    try {
+      const Flags lineFlags(static_cast<int>(argv.size()), argv.data());
+      for (const std::string& name : lineFlags.names()) {
+        static const char* kKnown[] = {"n",   "ratio", "algo", "topology",
+                                       "hub", "tier",  "runs", "seed"};
+        bool known = false;
+        for (const char* k : kKnown) known = known || name == k;
+        if (!known)
+          throw std::invalid_argument("unknown request field '" + name + "'");
+      }
+      printPlanResponse(oracle.plan(planRequestFromFlags(lineFlags)));
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+  printOracleStats(oracle.stats());
+  return 0;
+}
+
+int cmdCommPlan(const Flags& flags) {
   const Partition q = loadInput(flags);
   const auto plan = buildElementPlan(q);
   if (!verifyElementPlan(q, plan)) {
@@ -265,9 +382,10 @@ int main(int argc, char** argv) {
     if (command == "classify") return cmdClassify(flags);
     if (command == "voc") return cmdVoc(flags);
     if (command == "recommend") return cmdRecommend(flags);
-    if (command == "plan") return cmdPlan(flags);
+    if (command == "plan") return cmdPlanOracle(flags);
+    if (command == "commplan") return cmdCommPlan(flags);
     if (command == "faults") return cmdFaults(flags);
-    std::cerr << "unknown command '" << command << "'\n";
+    std::cerr << "pushpart: unknown command '" << command << "'\n";
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
