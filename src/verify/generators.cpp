@@ -1,0 +1,86 @@
+#include "verify/generators.hpp"
+
+#include <vector>
+
+#include "grid/builder.hpp"
+#include "model/algo.hpp"
+#include "shapes/candidates.hpp"
+#include "support/check.hpp"
+
+namespace pushpart {
+
+Ratio genRatio(Rng& rng) {
+  if (rng.chance(0.5)) {
+    const auto& pool = paperRatios();
+    return pool[static_cast<std::size_t>(rng.below(pool.size()))];
+  }
+  const double p = 1.0 + rng.real() * 11.0;
+  const double r = 1.0 + rng.real() * (p - 1.0);
+  return Ratio{p, r, 1.0};
+}
+
+int genSmallN(Rng& rng, int minN, int maxN) {
+  PUSHPART_CHECK_MSG(3 <= minN && minN <= maxN,
+                     "need 3 <= minN <= maxN, got " << minN << ".." << maxN);
+  return minN + static_cast<int>(
+                    rng.below(static_cast<std::uint64_t>(maxN - minN + 1)));
+}
+
+GenStyle genStyle(Rng& rng) {
+  const double draw = rng.real();
+  if (draw < 0.45) return GenStyle::kScattered;
+  if (draw < 0.70) return GenStyle::kClustered;
+  if (draw < 0.85) return GenStyle::kCandidate;
+  return GenStyle::kMutated;
+}
+
+Partition genPartition(GenStyle style, int n, const Ratio& ratio, Rng& rng) {
+  switch (style) {
+    case GenStyle::kScattered:
+      return randomPartition(n, ratio, rng);
+    case GenStyle::kClustered:
+      return randomClusteredPartition(n, ratio, rng);
+    case GenStyle::kCandidate:
+    case GenStyle::kMutated: {
+      std::vector<CandidateShape> feasible;
+      for (CandidateShape shape : kAllCandidates)
+        if (candidateFeasible(shape, n, ratio)) feasible.push_back(shape);
+      if (feasible.empty()) return randomPartition(n, ratio, rng);
+      Partition q = makeCandidate(
+          feasible[static_cast<std::size_t>(rng.below(feasible.size()))], n,
+          ratio);
+      if (style == GenStyle::kMutated) {
+        const auto swaps = 1 + rng.below(static_cast<std::uint64_t>(n));
+        for (std::uint64_t k = 0; k < swaps; ++k) {
+          const auto bound = static_cast<std::uint64_t>(n);
+          q.swapCells(static_cast<int>(rng.below(bound)),
+                      static_cast<int>(rng.below(bound)),
+                      static_cast<int>(rng.below(bound)),
+                      static_cast<int>(rng.below(bound)));
+        }
+      }
+      return q;
+    }
+  }
+  return randomPartition(n, ratio, rng);
+}
+
+Schedule genSchedule(Rng& rng) { return Schedule::random(rng); }
+
+PlanRequest genPlanRequest(Rng& rng) {
+  PlanRequest req;
+  req.n = genSmallN(rng, 12, 96);
+  req.ratio = genRatio(rng);
+  req.algo = kAllAlgos[static_cast<std::size_t>(rng.below(kAllAlgos.size()))];
+  req.topology =
+      rng.chance(0.25) ? Topology::kStar : Topology::kFullyConnected;
+  if (req.topology == Topology::kStar)
+    req.star.hub =
+        kAllProcs[static_cast<std::size_t>(rng.below(kAllProcs.size()))];
+  req.tier = rng.chance(0.5) ? PlanTier::kFast : PlanTier::kSearch;
+  req.searchRuns = 1 + static_cast<int>(rng.below(4));
+  req.searchSeed = rng() | 1u;
+  return req;
+}
+
+}  // namespace pushpart

@@ -1,0 +1,63 @@
+// Seeded random-case generators for the property harness.
+//
+// Every generator draws exclusively from a caller-supplied Rng, so a (seed,
+// property) pair fully determines the cases a run sees — the harness replays
+// and shrinks failures by re-deriving the same stream. Generators are biased
+// toward the paper's regime (its eleven ratios, scattered and clustered q0)
+// but also emit adversarial corners: candidate shapes, mutated candidates and
+// near-degenerate ratios that the regular DFA workloads rarely produce.
+#pragma once
+
+#include "dfa/schedule.hpp"
+#include "grid/partition.hpp"
+#include "grid/ratio.hpp"
+#include "serve/request.hpp"
+#include "support/rng.hpp"
+
+namespace pushpart {
+
+/// How a generated start partition was constructed; indexes the generator's
+/// strategy so a shrunk case can replay the same style.
+enum class GenStyle {
+  kScattered = 0,  ///< Paper §VI-A2 random q0.
+  kClustered = 1,  ///< Contiguous random runs (batch runner's diversifier).
+  kCandidate = 2,  ///< A feasible canonical candidate shape.
+  kMutated = 3,    ///< A candidate with random cell swaps applied.
+};
+
+inline constexpr int kNumGenStyles = 4;
+
+constexpr const char* genStyleName(GenStyle s) {
+  switch (s) {
+    case GenStyle::kScattered: return "scattered";
+    case GenStyle::kClustered: return "clustered";
+    case GenStyle::kCandidate: return "candidate";
+    case GenStyle::kMutated: return "mutated";
+  }
+  return "?";
+}
+
+/// A ratio satisfying the §IV assumptions: drawn from the paper's eleven
+/// ratios (half the time) or randomized with P_r in [1, 12], R_r in [1, P_r],
+/// S_r = 1.
+Ratio genRatio(Rng& rng);
+
+/// Uniform grid size in [minN, maxN]. Requires 3 <= minN <= maxN.
+int genSmallN(Rng& rng, int minN, int maxN);
+
+/// A start partition of the requested style (see GenStyle). Falls back to
+/// kScattered when the drawn candidate is infeasible at (n, ratio).
+Partition genPartition(GenStyle style, int n, const Ratio& ratio, Rng& rng);
+
+/// Random style, biased toward the paper's scattered starts.
+GenStyle genStyle(Rng& rng);
+
+/// Wraps Schedule::random (kept here so harness code only imports one
+/// generator module).
+Schedule genSchedule(Rng& rng);
+
+/// A plan request within the serving oracle's supported envelope: small n,
+/// generated ratio, random algorithm/topology/tier and a tiny search budget.
+PlanRequest genPlanRequest(Rng& rng);
+
+}  // namespace pushpart

@@ -1,0 +1,106 @@
+#include "verify/harness.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "grid/serialize.hpp"
+#include "verify/generators.hpp"
+
+namespace pushpart {
+namespace {
+
+/// Shrinks the failing case, re-runs the property on the minimum, and dumps
+/// the replay artifacts. Shared failure path of both entry points.
+void handleFailure(PropertyOutcome& outcome, const FailingCase& failing,
+                   const PropertyOptions& options,
+                   const PropertyFn& property) {
+  outcome.passed = false;
+
+  ShrinkOptions shrinkOptions;
+  shrinkOptions.minN = options.minN;
+  const ShrinkResult shrunk = shrinkCase(
+      failing,
+      [&](const FailingCase& c) { return property(c).report.ok(); },
+      shrinkOptions);
+  outcome.minimal = shrunk.minimal;
+  outcome.shrinkRounds = shrunk.rounds;
+
+  const PropertyRun minimalRun = property(shrunk.minimal);
+  outcome.failure = minimalRun.report;
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.artifactDir, ec);
+  const std::string base = options.artifactDir + "/" + outcome.name;
+  if (minimalRun.evidence.has_value()) {
+    outcome.artifactPath = base + ".pp";
+    savePartition(*minimalRun.evidence, outcome.artifactPath);
+  }
+  outcome.casePath = base + ".case";
+  std::ofstream caseFile(outcome.casePath);
+  if (caseFile) {
+    caseFile << "property " << outcome.name << "\n"
+             << "n " << shrunk.minimal.n << "\n"
+             << "ratio " << shrunk.minimal.ratio.str() << "\n"
+             << "seed " << shrunk.minimal.seed << "\n"
+             << "style " << shrunk.minimal.style << "\n"
+             << "violations\n"
+             << minimalRun.report.str() << "\n";
+  }
+}
+
+}  // namespace
+
+std::string PropertyOutcome::str() const {
+  std::ostringstream os;
+  if (passed) {
+    os << name << ": ok (" << iterations << " cases)";
+    return os.str();
+  }
+  os << name << ": FAILED after " << iterations << " cases\n"
+     << "  minimal case (" << shrinkRounds << " shrink steps): "
+     << minimal.str() << "\n";
+  for (const auto& v : failure.violations)
+    os << "  " << v.property << ": " << v.detail << "\n";
+  if (!artifactPath.empty()) os << "  partition: " << artifactPath << "\n";
+  if (!casePath.empty()) os << "  replay: " << casePath;
+  return os.str();
+}
+
+PropertyOutcome runProperty(const std::string& name,
+                            const PropertyOptions& options,
+                            const PropertyFn& property) {
+  PropertyOutcome outcome;
+  outcome.name = name;
+
+  Rng meta(options.seed);
+  for (int i = 0; i < options.iterations; ++i) {
+    Rng caseRng = meta.split(static_cast<std::uint64_t>(i));
+    FailingCase c;
+    c.n = genSmallN(caseRng, options.minN, options.maxN);
+    c.ratio = genRatio(caseRng);
+    c.style = static_cast<int>(genStyle(caseRng));
+    c.seed = caseRng();
+    ++outcome.iterations;
+
+    if (!property(c).report.ok()) {
+      handleFailure(outcome, c, options, property);
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+PropertyOutcome runPropertyOnCase(const std::string& name,
+                                  const FailingCase& fixedCase,
+                                  const PropertyOptions& options,
+                                  const PropertyFn& property) {
+  PropertyOutcome outcome;
+  outcome.name = name;
+  outcome.iterations = 1;
+  if (!property(fixedCase).report.ok())
+    handleFailure(outcome, fixedCase, options, property);
+  return outcome;
+}
+
+}  // namespace pushpart

@@ -1,0 +1,73 @@
+// The property-based test harness: generate → check → shrink → dump.
+//
+// runProperty drives one named property over a stream of seeded random cases
+// (grid size, ratio, start style — see generators.hpp). The first failing
+// case is minimised with shrinkCase and the minimal failure is dumped as a
+// replayable artifact pair:
+//
+//   <dir>/<name>.pp    the offending partition (pushpart-partition v1), and
+//   <dir>/<name>.case  the FailingCase (n, ratio, seed, style) plus every
+//                      violated invariant — enough to rebuild the failure
+//                      exactly and to file it into tests/corpus.
+//
+// runPropertyOnCase checks one *specific* case (the differential sweeps use
+// it with a fixed grid of paper ratios) with the same shrink-and-dump
+// treatment on failure.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "grid/partition.hpp"
+#include "verify/invariants.hpp"
+#include "verify/shrink.hpp"
+
+namespace pushpart {
+
+/// One evaluation of a property on one case: the invariant report plus the
+/// partition to dump when the report has violations.
+struct PropertyRun {
+  CheckReport report;
+  std::optional<Partition> evidence;
+};
+
+/// A property rebuilds its whole input from the case (seeding any Rng from
+/// case.seed) so that shrinking and replay are deterministic.
+using PropertyFn = std::function<PropertyRun(const FailingCase&)>;
+
+struct PropertyOptions {
+  int iterations = 50;
+  std::uint64_t seed = 1;
+  int minN = 4;
+  int maxN = 24;
+  std::string artifactDir = "verify-artifacts";
+};
+
+struct PropertyOutcome {
+  std::string name;
+  int iterations = 0;     ///< Cases evaluated (including the failing one).
+  bool passed = true;
+  FailingCase minimal;    ///< Minimal failing case (valid when !passed).
+  CheckReport failure;    ///< Violations of the minimal case.
+  int shrinkRounds = 0;
+  std::string artifactPath;  ///< Dumped .pp ("" when the run had no evidence).
+  std::string casePath;      ///< Dumped .case replay descriptor.
+
+  /// "name: ok (N cases)" or a multi-line failure description with paths.
+  std::string str() const;
+};
+
+/// Evaluates `property` on `iterations` generated cases; shrinks and dumps
+/// the first failure. Deterministic for a fixed options.seed.
+PropertyOutcome runProperty(const std::string& name,
+                            const PropertyOptions& options,
+                            const PropertyFn& property);
+
+/// Evaluates `property` on one explicit case; shrinks and dumps on failure.
+PropertyOutcome runPropertyOnCase(const std::string& name,
+                                  const FailingCase& fixedCase,
+                                  const PropertyOptions& options,
+                                  const PropertyFn& property);
+
+}  // namespace pushpart

@@ -1,0 +1,274 @@
+#include "verify/invariants.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "grid/serialize.hpp"
+#include "shapes/archetype.hpp"
+#include "shapes/transform.hpp"
+#include "support/check.hpp"
+
+namespace pushpart {
+
+void CheckReport::add(std::string property, std::string detail) {
+  violations.push_back({std::move(property), std::move(detail)});
+}
+
+void CheckReport::merge(const CheckReport& other) {
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+}
+
+std::string CheckReport::str() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << violations[i].property << ": " << violations[i].detail;
+  }
+  return os.str();
+}
+
+Ratio inferRatio(const Partition& q) {
+  const auto eR = q.count(Proc::R);
+  const auto eS = q.count(Proc::S);
+  const auto eP = q.count(Proc::P);
+  if (eR <= 0 || eS <= 0)
+    throw std::invalid_argument(
+        "inferRatio: R and S must own at least one cell (R=" +
+        std::to_string(eR) + ", S=" + std::to_string(eS) + ")");
+  const double s = static_cast<double>(eS);
+  Ratio ratio{static_cast<double>(eP) / s, static_cast<double>(eR) / s, 1.0};
+  // Integer rounding can leave eP a hair below eR on near-tied shares; clamp
+  // so the inferred ratio satisfies the §IV assumption p >= max(r, s).
+  ratio.p = std::max({ratio.p, ratio.r, ratio.s});
+  return ratio;
+}
+
+CheckReport checkCounters(const Partition& q) {
+  CheckReport report;
+  try {
+    q.validateCounters();
+  } catch (const CheckError& e) {
+    report.add("grid.counters", e.what());
+  }
+  std::int64_t owned = 0;
+  for (Proc x : kAllProcs) owned += q.count(x);
+  if (owned != q.cellCount())
+    report.add("grid.cell-total",
+               "per-processor counts sum to " + std::to_string(owned) +
+                   ", expected " + std::to_string(q.cellCount()));
+  return report;
+}
+
+CheckReport checkConservation(const Partition& before,
+                              const Partition& after) {
+  CheckReport report;
+  if (before.n() != after.n()) {
+    report.add("conservation.size",
+               "grid size changed " + std::to_string(before.n()) + " -> " +
+                   std::to_string(after.n()));
+    return report;
+  }
+  for (Proc x : kAllProcs) {
+    if (before.count(x) != after.count(x))
+      report.add("conservation.counts",
+                 std::string(1, procName(x)) + " count changed " +
+                     std::to_string(before.count(x)) + " -> " +
+                     std::to_string(after.count(x)));
+  }
+  return report;
+}
+
+CheckReport checkPushOutcome(const Partition& before, const Partition& after,
+                             const PushOutcome& outcome) {
+  CheckReport report;
+  report.merge(checkConservation(before, after));
+
+  const std::int64_t vocBefore = before.volumeOfCommunication();
+  const std::int64_t vocAfter = after.volumeOfCommunication();
+  if (outcome.vocBefore != vocBefore)
+    report.add("push.bookkeeping",
+               "outcome.vocBefore " + std::to_string(outcome.vocBefore) +
+                   " != measured " + std::to_string(vocBefore));
+  if (outcome.applied && outcome.vocAfter != vocAfter)
+    report.add("push.bookkeeping",
+               "outcome.vocAfter " + std::to_string(outcome.vocAfter) +
+                   " != measured " + std::to_string(vocAfter));
+
+  if (!outcome.applied) {
+    if (!(before == after))
+      report.add("push.no-mutation-on-failure",
+                 "partition changed although outcome.applied is false");
+    return report;
+  }
+
+  // §IV-A: Types 1–4 strictly decrease VoC; 5–6 may keep it equal.
+  const bool strict = static_cast<int>(outcome.type) <= 4;
+  if (strict ? !(vocAfter < vocBefore) : !(vocAfter <= vocBefore))
+    report.add("push.voc-nonincrease",
+               std::string(pushTypeName(outcome.type)) + " push moved VoC " +
+                   std::to_string(vocBefore) + " -> " +
+                   std::to_string(vocAfter));
+
+  // No slow processor's enclosing rectangle may grow (P is exempt — the
+  // engine's rule; its rectangle plays no role in VoC or future pushes).
+  for (Proc x : kSlowProcs) {
+    if (!before.enclosingRect(x).contains(after.enclosingRect(x))) {
+      std::ostringstream os;
+      os << procName(x) << " rect grew " << before.enclosingRect(x) << " -> "
+         << after.enclosingRect(x);
+      report.add("push.rect-nongrowth", os.str());
+    }
+  }
+  report.merge(checkCounters(after));
+  return report;
+}
+
+CheckReport checkDfaRun(const Partition& q0, const DfaResult& result) {
+  CheckReport report;
+  report.merge(checkConservation(q0, result.final));
+  report.merge(checkCounters(result.final));
+
+  if (result.vocStart != q0.volumeOfCommunication())
+    report.add("dfa.bookkeeping",
+               "vocStart " + std::to_string(result.vocStart) +
+                   " != start grid's " +
+                   std::to_string(q0.volumeOfCommunication()));
+  if (result.vocEnd != result.final.volumeOfCommunication())
+    report.add("dfa.bookkeeping",
+               "vocEnd " + std::to_string(result.vocEnd) +
+                   " != final grid's " +
+                   std::to_string(result.final.volumeOfCommunication()));
+  if (result.vocEnd > result.vocStart)
+    report.add("dfa.voc-monotone", "VoC rose " +
+                                       std::to_string(result.vocStart) +
+                                       " -> " + std::to_string(result.vocEnd));
+  return report;
+}
+
+CheckReport checkSerializeRoundTrip(const Partition& q) {
+  CheckReport report;
+  std::ostringstream first;
+  savePartition(q, first);
+  std::istringstream in(first.str());
+  try {
+    const Partition back = loadPartition(in);
+    if (!(back == q)) {
+      report.add("serialize.roundtrip", "loaded grid differs from original");
+      return report;
+    }
+    std::ostringstream second;
+    savePartition(back, second);
+    if (second.str() != first.str())
+      report.add("serialize.roundtrip",
+                 "save -> load -> save is not byte-identical");
+  } catch (const std::exception& e) {
+    report.add("serialize.roundtrip",
+               std::string("loadPartition rejected its own output: ") +
+                   e.what());
+  }
+  return report;
+}
+
+CheckReport checkCondensedState(const Partition& condensed,
+                                const Ratio& ratio) {
+  CheckReport report;
+  const ArchetypeInfo info = classifyArchetype(condensed);
+  if (info.archetype != Archetype::Unknown) return report;
+
+  // A locked non-archetype state is tolerable (the paper saw none, we keep
+  // them as corpus regressions) *only* while a canonical Archetype A
+  // candidate still communicates no more — the weak Postulate 1 its
+  // conclusions rest on.
+  Partition reduced = condensed;
+  const auto reduction = reduceToArchetypeA(reduced, ratio);
+  if (!reduction.has_value()) {
+    report.add("postulate1.dominance",
+               "locked Unknown state undercuts every canonical candidate "
+               "(VoC " +
+                   std::to_string(condensed.volumeOfCommunication()) +
+                   ", ratio " + ratio.str() + ") — " + info.str());
+    return report;
+  }
+  if (classifyArchetype(reduced).archetype != Archetype::A)
+    report.add("postulate1.reduction",
+               "reduceToArchetypeA output is not Archetype A");
+  if (reduction->vocAfter > reduction->vocBefore)
+    report.add("postulate1.reduction",
+               "reduction raised VoC " + std::to_string(reduction->vocBefore) +
+                   " -> " + std::to_string(reduction->vocAfter));
+  return report;
+}
+
+CheckReport checkOracleTierAgreement(const Oracle& oracle,
+                                     const PlanRequest& request) {
+  CheckReport report;
+  PlanRequest fast = request;
+  fast.tier = PlanTier::kFast;
+  PlanRequest search = request;
+  search.tier = PlanTier::kSearch;
+
+  const PlanAnswer a = oracle.solveUncached(fast);
+  const PlanAnswer b = oracle.solveUncached(search);
+
+  // Tier B embeds tier A: its candidate recommendation must be the tier-A
+  // answer verbatim — the search only *cross-checks*, it never changes the
+  // closed-form ranking.
+  if (a.shape != b.shape)
+    report.add("serve.tier-agreement",
+               std::string("tier A recommends ") + candidateName(a.shape) +
+                   " but tier B recommends " + candidateName(b.shape));
+  if (a.voc != b.voc)
+    report.add("serve.tier-agreement",
+               "candidate VoC differs across tiers: " + std::to_string(a.voc) +
+                   " vs " + std::to_string(b.voc));
+  if (!(a.model == b.model))
+    report.add("serve.tier-agreement",
+               "candidate model timings differ across tiers");
+
+  if (b.searchCompleted > b.searchRuns)
+    report.add("serve.search-budget",
+               "completed " + std::to_string(b.searchCompleted) + " of " +
+                   std::to_string(b.searchRuns) + " budgeted walks");
+  const bool shouldConfirm =
+      b.searchCompleted > 0 &&
+      b.searchBestExecSeconds >= b.model.execSeconds;
+  if (b.searchConfirmedCandidate != shouldConfirm)
+    report.add("serve.search-confirmation",
+               "searchConfirmedCandidate=" +
+                   std::string(b.searchConfirmedCandidate ? "true" : "false") +
+                   " but best searched exec " +
+                   std::to_string(b.searchBestExecSeconds) +
+                   "s vs candidate " + std::to_string(b.model.execSeconds) +
+                   "s");
+  return report;
+}
+
+CheckReport replayCorpusFile(const std::string& path) {
+  CheckReport report;
+  Partition q = loadPartition(path);
+  report.merge(checkCounters(q));
+  report.merge(checkSerializeRoundTrip(q));
+  try {
+    report.merge(checkCondensedState(q, inferRatio(q)));
+  } catch (const std::invalid_argument& e) {
+    report.add("corpus.ratio", e.what());
+  }
+  return report;
+}
+
+std::vector<std::string> corpusFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".pp")
+      files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace pushpart

@@ -1,0 +1,102 @@
+// Reusable invariant checkers — the verification subsystem's shared core.
+//
+// The paper's guarantees (§IV-A: a Push never increases the Volume of
+// Communication and never grows an enclosing rectangle; element counts are
+// conserved by construction) are enforced transactionally inside the Push
+// engine. This module restates them — plus the serialization and serving
+// contracts the library grew since — as *external* checkers that inspect
+// results after the fact, so the fuzzer, the property harness, the corpus
+// replay test and `pushpart verify` all share one implementation of "what
+// must always hold" instead of each hand-rolling a subset.
+//
+// Every checker returns a CheckReport: an empty violation list means the
+// invariant held. Checkers never throw on a violated invariant (they *record*
+// it); they only propagate exceptions from genuinely broken preconditions
+// (e.g. unreadable files).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfa/dfa.hpp"
+#include "grid/partition.hpp"
+#include "grid/ratio.hpp"
+#include "push/push.hpp"
+#include "serve/oracle.hpp"
+
+namespace pushpart {
+
+/// One violated property: which invariant, and the measured evidence.
+struct Violation {
+  std::string property;  ///< Stable identifier, e.g. "push.voc-nonincrease".
+  std::string detail;    ///< Human-readable evidence (numbers, positions).
+};
+
+/// Outcome of one or more invariant checks.
+struct CheckReport {
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  void add(std::string property, std::string detail);
+  void merge(const CheckReport& other);
+  /// "ok" or one "property: detail" line per violation.
+  std::string str() const;
+};
+
+/// Infers the speed ratio a saved partition was built for from its element
+/// counts (eP/eS : eR/eS : 1). Exact for partitions built from
+/// Ratio::elementCounts up to the integer rounding already present there.
+/// Throws std::invalid_argument when R or S owns no cells (no finite ratio).
+Ratio inferRatio(const Partition& q);
+
+/// The partition's incremental counters agree with a full O(N²) recount and
+/// every cell is owned ("grid.counters").
+CheckReport checkCounters(const Partition& q);
+
+/// Per-processor element counts are identical in `before` and `after`
+/// ("conservation.counts") — the Push exchanges cells, never creates or
+/// destroys them.
+CheckReport checkConservation(const Partition& before, const Partition& after);
+
+/// The §IV-A Push guarantees, checked against a snapshot taken before the
+/// push: VoC never increases (strictly decreases for Types 1–4), R/S
+/// enclosing rectangles never grow (P is exempt, mirroring the engine's
+/// rule), counts are conserved, and the outcome's bookkeeping (vocBefore /
+/// vocAfter) matches the measured grids.
+CheckReport checkPushOutcome(const Partition& before, const Partition& after,
+                             const PushOutcome& outcome);
+
+/// A completed DFA walk: VoC monotone over the whole run (vocEnd <= vocStart,
+/// both matching the grids), element counts conserved from q0, and the final
+/// partition's counters consistent.
+CheckReport checkDfaRun(const Partition& q0, const DfaResult& result);
+
+/// save→load→save produces byte-identical text and a grid equal to the
+/// original ("serialize.roundtrip").
+CheckReport checkSerializeRoundTrip(const Partition& q);
+
+/// A condensed accept state satisfies Postulate 1 in the weak form the
+/// paper's conclusions rely on: it classifies as a Fig. 5 archetype, or —
+/// when it is a locked Unknown state — reduceToArchetypeA finds a canonical
+/// Archetype A candidate communicating no more than it does. A locked state
+/// that *undercuts* every candidate is the refutation the fuzzer hunts
+/// ("postulate1.dominance").
+CheckReport checkCondensedState(const Partition& condensed, const Ratio& ratio);
+
+/// Tier agreement for the serving layer: for the same canonical request,
+/// tier B (search cross-check) must embed tier A's answer verbatim — same
+/// shape, model and VoC — and its searched finals must not beat the
+/// recommended candidate while claiming confirmation ("serve.tier-agreement").
+CheckReport checkOracleTierAgreement(const Oracle& oracle,
+                                     const PlanRequest& request);
+
+/// Full replay of one checked-in counterexample file: load, counters,
+/// serialize round-trip, condensed-state dominance (ratio inferred from the
+/// grid). The regression gate for tests/corpus.
+CheckReport replayCorpusFile(const std::string& path);
+
+/// All *.pp files directly inside `dir`, sorted by name. Missing or empty
+/// directories yield an empty list.
+std::vector<std::string> corpusFiles(const std::string& dir);
+
+}  // namespace pushpart

@@ -1,0 +1,79 @@
+// Exhaustive small-N optimality oracle — ground truth for the search stack.
+//
+// For small grids the state space the paper's DFA walks (§V: all element
+// arrangements with the ratio's exact per-processor counts) can be enumerated
+// outright, so the *exact* minimum Volume of Communication is computable and
+// every higher layer (DFA condensation, candidate ranking, the serving
+// oracle) can be differentially checked against it instead of against each
+// other. Two tiers:
+//
+//   * kExhaustive — full multinomial enumeration of every assignment of the
+//     eR/eS/eP cells, with a branch-and-bound lower bound (distinct-owner
+//     sums only ever grow as cells are placed) seeded by the best canonical
+//     candidate, so the search visits a small fraction of the raw state
+//     space. Used whenever the multinomial fits the options budget.
+//   * kFamily — above the budget, exact minimisation over the canonical
+//     Archetype A family: every placement of R and S as disjoint row-major
+//     filled rectangles (all widths × all positions). An upper bound on the
+//     true minimum, still exact within its family, and cheap (O(N) VoC per
+//     placement pair via precomputed occupancy tables).
+//
+// The differential tests assert: DFA best-of-batch == exhaustive minimum on
+// tier-kExhaustive grids, and layer-vs-layer ordering bounds everywhere.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/partition.hpp"
+#include "grid/ratio.hpp"
+
+namespace pushpart {
+
+struct SmallNOracleOptions {
+  /// Largest multinomial state count full enumeration may attempt; above it
+  /// the oracle answers from the canonical-family tier.
+  std::int64_t maxExhaustiveStates = 20'000'000;
+};
+
+enum class SmallNOracleTier {
+  kExhaustive = 0,  ///< Full enumeration — the returned minimum is ground truth.
+  kFamily = 1,      ///< Canonical-family minimum — exact upper bound only.
+};
+
+constexpr const char* smallNOracleTierName(SmallNOracleTier t) {
+  switch (t) {
+    case SmallNOracleTier::kExhaustive: return "exhaustive";
+    case SmallNOracleTier::kFamily: return "family";
+  }
+  return "?";
+}
+
+struct SmallNOracleResult {
+  /// Partition is not default-constructible; the oracle seeds `best` with the
+  /// incumbent and overwrites it with every improvement.
+  explicit SmallNOracleResult(Partition incumbent)
+      : best(std::move(incumbent)) {}
+
+  SmallNOracleTier tier = SmallNOracleTier::kExhaustive;
+  std::int64_t minVoc = 0;        ///< Minimum VoC over the tier's space.
+  Partition best;                 ///< An argmin partition achieving minVoc.
+  std::int64_t statesVisited = 0; ///< Complete assignments / placement pairs
+                                  ///< actually evaluated (post-pruning).
+  std::int64_t stateSpace = 0;    ///< Multinomial size, saturated at cap.
+};
+
+/// Number of distinct arrangements of the ratio's exact element counts on an
+/// n×n grid — the multinomial (n² choose eR)(n²−eR choose eS) — saturated at
+/// `cap` so callers can budget without overflow. Throws via Ratio checks on
+/// invalid input.
+std::int64_t arrangementCountCapped(int n, const Ratio& ratio,
+                                    std::int64_t cap);
+
+/// Computes the minimum Volume of Communication over all arrangements with
+/// the ratio's exact element counts (tier kExhaustive) or over the canonical
+/// rectangular family (tier kFamily) when the full space exceeds the budget.
+/// Throws std::invalid_argument for n < 2.
+SmallNOracleResult smallNOptimalVoc(int n, const Ratio& ratio,
+                                    const SmallNOracleOptions& options = {});
+
+}  // namespace pushpart

@@ -1,0 +1,60 @@
+// The standard verification suite behind `pushpart verify` and the ctest
+// differential gates.
+//
+// One call runs, under a quick or deep budget:
+//
+//   * the core property set — push invariants, DFA condensation (weak
+//     Postulate 1), serialize round-trips, serving-oracle tier agreement —
+//     each through the generate→check→shrink→dump harness;
+//   * the small-N differential sweep: for every ratio in the acceptance set
+//     {2:1:1, 3:1:1, 5:2:1, 10:3:1} (plus more when deep), the exhaustive
+//     oracle's exact minimum VoC is compared against the best of a seeded
+//     DFA batch and against the canonical candidates. On the exhaustive tier
+//     the DFA must *match* the oracle exactly; disagreements are shrunk and
+//     dumped like any property failure;
+//   * corpus replay of checked-in counterexample files (classify +
+//     invariants; the no-Unknown/no-violation regression gate).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "verify/harness.hpp"
+#include "verify/oracle.hpp"
+
+namespace pushpart {
+
+struct VerifySuiteOptions {
+  bool deep = false;          ///< Deep budget: more cases, runs and sizes.
+  std::uint64_t seed = 1;
+  std::string artifactDir = "verify-artifacts";
+  std::string corpusDir;      ///< Directory of *.pp to replay ("" = skip).
+  std::int64_t maxExhaustiveStates = 20'000'000;
+};
+
+/// One oracle-vs-search comparison point.
+struct DifferentialOutcome {
+  int n = 0;
+  Ratio ratio{2, 1, 1};
+  SmallNOracleTier tier = SmallNOracleTier::kExhaustive;
+  std::int64_t oracleMinVoc = 0;
+  std::int64_t dfaBestVoc = 0;        ///< Best condensed VoC over the batch.
+  std::int64_t candidateBestVoc = 0;  ///< Best feasible canonical candidate.
+  bool agreed = true;
+  std::string detail;
+};
+
+struct VerifySuiteReport {
+  std::vector<PropertyOutcome> properties;
+  std::vector<DifferentialOutcome> differentials;
+  /// (path, report) per replayed corpus file.
+  std::vector<std::pair<std::string, CheckReport>> corpus;
+
+  bool ok() const;
+  std::string summary() const;
+};
+
+VerifySuiteReport runVerifySuite(const VerifySuiteOptions& options);
+
+}  // namespace pushpart

@@ -7,6 +7,8 @@
 
 #include "grid/builder.hpp"
 #include "support/rng.hpp"
+#include "verify/generators.hpp"
+#include "verify/invariants.hpp"
 
 namespace pushpart {
 namespace {
@@ -114,6 +116,75 @@ TEST(SerializeTest, CrlfAndTrailingBlanksAccepted) {
 TEST(SerializeTest, MissingFileThrows) {
   EXPECT_THROW(loadPartition(std::string("/no/such/file.txt")),
                std::runtime_error);
+}
+
+// Property: save→load→save is byte-identical for arbitrary generated
+// partitions — every style the harness produces, across sizes and ratios.
+TEST(SerializePropertyTest, RoundTripIsByteIdenticalForGeneratedPartitions) {
+  Rng rng(2024);
+  for (int i = 0; i < 60; ++i) {
+    const Ratio ratio = genRatio(rng);
+    const int n = genSmallN(rng, 3, 48);
+    const GenStyle style = genStyle(rng);
+    const Partition q = genPartition(style, n, ratio, rng);
+
+    std::stringstream first;
+    savePartition(q, first);
+    const Partition back = loadPartition(first);
+    EXPECT_EQ(q, back) << "n=" << n << " style=" << genStyleName(style);
+    std::stringstream second;
+    savePartition(back, second);
+    EXPECT_EQ(first.str(), second.str())
+        << "n=" << n << " style=" << genStyleName(style);
+
+    // The shared checker agrees (it is what the verify suite runs).
+    const CheckReport report = checkSerializeRoundTrip(q);
+    EXPECT_TRUE(report.ok()) << report.str();
+  }
+}
+
+// Property: corrupting any single cell character to junk is rejected, and
+// the error names the exact (row, column) of the corruption.
+TEST(SerializePropertyTest, SingleCellCorruptionIsRejectedWithPosition) {
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const int n = genSmallN(rng, 3, 16);
+    const Partition q = randomPartition(n, Ratio{3, 2, 1}, rng);
+    std::stringstream ss;
+    savePartition(q, ss);
+    std::string text = ss.str();
+
+    const int row = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const int col = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    // Grid rows start after the two header lines; each row is n cells + '\n'.
+    const std::size_t header = text.find('\n', text.find('\n') + 1) + 1;
+    text[header + static_cast<std::size_t>(row) *
+                      static_cast<std::size_t>(n + 1) +
+         static_cast<std::size_t>(col)] = '?';
+
+    const std::string msg = loadErrorMessage(text);
+    EXPECT_NE(msg.find("invalid cell '?'"), std::string::npos) << text;
+    EXPECT_NE(msg.find("row " + std::to_string(row)), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("column " + std::to_string(col)), std::string::npos)
+        << msg;
+  }
+}
+
+// Property: truncating the serialized text anywhere strictly inside the
+// grid body is always rejected (never silently accepted as a smaller grid).
+TEST(SerializePropertyTest, AnyTruncationInsideTheGridIsRejected) {
+  Rng rng(7);
+  const Partition q = randomPartition(8, Ratio{2, 1, 1}, rng);
+  std::stringstream ss;
+  savePartition(q, ss);
+  const std::string text = ss.str();
+  const std::size_t header = text.find('\n', text.find('\n') + 1) + 1;
+  for (std::size_t cut = header; cut < text.size() - 1; cut += 7) {
+    std::stringstream truncated(text.substr(0, cut));
+    EXPECT_THROW(loadPartition(truncated), std::runtime_error)
+        << "cut at " << cut;
+  }
 }
 
 }  // namespace

@@ -162,6 +162,50 @@ TEST(PlanCacheTest, CoalescedWaitersSeeTheSolversException) {
   }
 }
 
+// Contention stress: many threads hammer a keyspace larger than the cache,
+// so hits, misses, coalesced solves and shard evictions all race against
+// each other. The assertions are the conservation laws that must survive
+// any interleaving; TSan (the CI job runs this suite) covers the data-race
+// side.
+TEST(PlanCacheTest, EvictionAndCoalescingStayConsistentUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  constexpr std::size_t kCapacity = 8;  // far below the 32-key working set
+  PlanCache cache(kCapacity, 4);
+  std::atomic<int> solves{0};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&, t]() {
+      // Deterministic per-thread walk over an overlapping keyspace; the
+      // stride keeps threads colliding on the same keys at offset phases.
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const int key = 1 + (op * (t + 1) + t * 7) % 32;
+        const auto outcome = cache.getOrCompute(keyFor(key), [&]() {
+          solves.fetch_add(1);
+          return answerWith(static_cast<double>(key));
+        });
+        // Whatever the path — hit, miss or coalesced wait — the answer must
+        // be the one computed for this key, never a neighbour's.
+        EXPECT_EQ(outcome.answer.model.execSeconds,
+                  static_cast<double>(key));
+      }
+    });
+  for (auto& th : pool) th.join();
+
+  const auto c = cache.counters();
+  // Every operation is exactly one of hit / miss / coalesced.
+  EXPECT_EQ(c.hits + c.misses + c.coalesced,
+            static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+  // Each miss ran the solver once; coalesced waiters never did.
+  EXPECT_EQ(c.misses, static_cast<std::uint64_t>(solves.load()));
+  // The working set exceeds capacity, so shards must have evicted, and the
+  // resident count must respect the configured capacity.
+  EXPECT_GT(c.evictions, 0u);
+  EXPECT_LE(c.entries, kCapacity);
+  EXPECT_EQ(c.entries + c.evictions, c.misses);
+}
+
 TEST(PlanCacheTest, DistinctKeysDoNotCoalesce) {
   PlanCache cache(16, 4);
   std::atomic<int> solves{0};

@@ -1,0 +1,51 @@
+// Regression gate for tests/corpus: every checked-in counterexample file
+// must replay cleanly — load, counter consistency, byte-identical serialize
+// round-trip, and the Postulate 1 dominance check. A file that classifies
+// Unknown is accepted only as a *locked, dominated* state: no push applies
+// and reduceToArchetypeA finds a canonical Archetype A shape communicating
+// no more — so no corpus file leaves an unexplained Unknown shape, and none
+// violates an engine invariant.
+#include <gtest/gtest.h>
+
+#include "grid/serialize.hpp"
+#include "shapes/archetype.hpp"
+#include "shapes/transform.hpp"
+#include "verify/invariants.hpp"
+
+#ifndef PUSHPART_CORPUS_DIR
+#error "PUSHPART_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace pushpart {
+namespace {
+
+TEST(CorpusTest, CorpusDirectoryHasTheRelocatedCounterexamples) {
+  const auto files = corpusFiles(PUSHPART_CORPUS_DIR);
+  ASSERT_GE(files.size(), 2u) << "expected the counterexample_*.pp files in "
+                              << PUSHPART_CORPUS_DIR;
+}
+
+TEST(CorpusTest, EveryCorpusFileReplaysWithoutViolations) {
+  for (const std::string& path : corpusFiles(PUSHPART_CORPUS_DIR)) {
+    const CheckReport report = replayCorpusFile(path);
+    EXPECT_TRUE(report.ok()) << path << ": " << report.str();
+  }
+}
+
+TEST(CorpusTest, UnknownShapesAreLockedAndReduceToArchetypeA) {
+  for (const std::string& path : corpusFiles(PUSHPART_CORPUS_DIR)) {
+    const Partition q = loadPartition(path);
+    const ArchetypeInfo info = classifyArchetype(q);
+    if (info.archetype != Archetype::Unknown) continue;
+    const Ratio ratio = inferRatio(q);
+    Partition reduced = q;
+    const auto reduction = reduceToArchetypeA(reduced, ratio);
+    ASSERT_TRUE(reduction.has_value())
+        << path << " undercuts every canonical candidate";
+    EXPECT_LE(reduction->vocAfter, reduction->vocBefore) << path;
+    EXPECT_EQ(classifyArchetype(reduced).archetype, Archetype::A) << path;
+  }
+}
+
+}  // namespace
+}  // namespace pushpart

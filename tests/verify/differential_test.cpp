@@ -1,0 +1,59 @@
+// The acceptance-criterion test: the exhaustive small-N oracle and the DFA
+// must agree on the optimal VoC across the ratio set {2:1:1, 3:1:1, 5:2:1,
+// 10:3:1}. Any disagreement arrives here already shrunk to a minimal
+// replayable case with a dumped .pp artifact, and the assertion message
+// carries that artifact's path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "verify/suite.hpp"
+
+namespace pushpart {
+namespace {
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  static const VerifySuiteReport& report() {
+    static const VerifySuiteReport r = [] {
+      VerifySuiteOptions options;
+      options.artifactDir = ::testing::TempDir() + "/pushpart_differential";
+      std::filesystem::remove_all(options.artifactDir);
+      return runVerifySuite(options);
+    }();
+    return r;
+  }
+};
+
+TEST_F(DifferentialTest, OracleAndDfaAgreeAcrossTheAcceptanceRatios) {
+  for (const DifferentialOutcome& d : report().differentials) {
+    EXPECT_TRUE(d.agreed)
+        << "n=" << d.n << " ratio=" << d.ratio.str() << " ["
+        << smallNOracleTierName(d.tier) << "] oracle=" << d.oracleMinVoc
+        << " dfa=" << d.dfaBestVoc << " candidates=" << d.candidateBestVoc
+        << (d.detail.empty() ? "" : "\n  " + d.detail);
+  }
+}
+
+TEST_F(DifferentialTest, SweepCoversEveryAcceptanceRatioExhaustively) {
+  // Each acceptance ratio must be probed on at least one tier-kExhaustive
+  // grid — otherwise "DFA matches ground truth" was never actually checked.
+  for (const Ratio& ratio : {Ratio{2, 1, 1}, Ratio{3, 1, 1}, Ratio{5, 2, 1},
+                             Ratio{10, 3, 1}}) {
+    bool exhaustivelyProbed = false;
+    for (const DifferentialOutcome& d : report().differentials)
+      exhaustivelyProbed =
+          exhaustivelyProbed || (d.ratio == ratio &&
+                                 d.tier == SmallNOracleTier::kExhaustive);
+    EXPECT_TRUE(exhaustivelyProbed) << ratio.str();
+  }
+}
+
+TEST_F(DifferentialTest, CorePropertiesPass) {
+  for (const PropertyOutcome& p : report().properties)
+    EXPECT_TRUE(p.passed) << p.str();
+  EXPECT_TRUE(report().ok()) << report().summary();
+}
+
+}  // namespace
+}  // namespace pushpart

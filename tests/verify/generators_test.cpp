@@ -1,0 +1,70 @@
+#include "verify/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pushpart {
+namespace {
+
+TEST(GeneratorsTest, RatiosAlwaysSatisfyThePaperAssumptions) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Ratio ratio = genRatio(rng);
+    EXPECT_TRUE(ratio.valid()) << ratio.str();
+  }
+}
+
+TEST(GeneratorsTest, SmallNStaysInRangeAndCoversIt) {
+  Rng rng(2);
+  std::set<int> seen;
+  for (int i = 0; i < 300; ++i) {
+    const int n = genSmallN(rng, 4, 9);
+    EXPECT_GE(n, 4);
+    EXPECT_LE(n, 9);
+    seen.insert(n);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // every size in [4, 9] drawn at least once
+}
+
+TEST(GeneratorsTest, PartitionsHaveTheRatiosExactCounts) {
+  Rng rng(3);
+  const Ratio ratio{5, 2, 1};
+  const auto expected = ratio.elementCounts(12);
+  for (GenStyle style : {GenStyle::kScattered, GenStyle::kClustered,
+                         GenStyle::kCandidate, GenStyle::kMutated}) {
+    const Partition q = genPartition(style, 12, ratio, rng);
+    EXPECT_EQ(q.count(Proc::R), expected[procSlot(Proc::R)])
+        << genStyleName(style);
+    EXPECT_EQ(q.count(Proc::S), expected[procSlot(Proc::S)])
+        << genStyleName(style);
+    q.validateCounters();
+  }
+}
+
+TEST(GeneratorsTest, SameSeedSameStream) {
+  Rng a(77), b(77);
+  for (int i = 0; i < 20; ++i) {
+    const Ratio ra = genRatio(a), rb = genRatio(b);
+    EXPECT_EQ(ra.str(), rb.str());
+    EXPECT_EQ(genSmallN(a, 3, 30), genSmallN(b, 3, 30));
+  }
+  const Partition qa = genPartition(GenStyle::kScattered, 10, Ratio{2, 1, 1},
+                                    a);
+  const Partition qb = genPartition(GenStyle::kScattered, 10, Ratio{2, 1, 1},
+                                    b);
+  EXPECT_EQ(qa, qb);
+}
+
+TEST(GeneratorsTest, PlanRequestsStayInsideTheServingEnvelope) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const PlanRequest req = genPlanRequest(rng);
+    EXPECT_GE(req.n, 12);
+    EXPECT_TRUE(req.ratio.valid()) << req.ratio.str();
+    EXPECT_GE(req.searchRuns, 1);
+  }
+}
+
+}  // namespace
+}  // namespace pushpart

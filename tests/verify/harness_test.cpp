@@ -1,0 +1,110 @@
+#include "verify/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "grid/builder.hpp"
+#include "grid/serialize.hpp"
+#include "verify/generators.hpp"
+
+namespace pushpart {
+namespace {
+
+PropertyOptions tempOptions(const std::string& subdir) {
+  PropertyOptions options;
+  options.artifactDir = ::testing::TempDir() + "/pushpart_" + subdir;
+  std::filesystem::remove_all(options.artifactDir);
+  return options;
+}
+
+TEST(HarnessTest, PassingPropertyReportsAllIterations) {
+  const PropertyOptions options = tempOptions("pass");
+  const PropertyOutcome outcome = runProperty(
+      "always-ok", options,
+      [](const FailingCase&) -> PropertyRun { return {CheckReport{}, {}}; });
+  EXPECT_TRUE(outcome.passed);
+  EXPECT_EQ(outcome.iterations, options.iterations);
+  EXPECT_NE(outcome.str().find("always-ok: ok"), std::string::npos);
+  // No artifacts for a passing property.
+  EXPECT_FALSE(std::filesystem::exists(options.artifactDir));
+}
+
+TEST(HarnessTest, FailureIsShrunkAndDumpedReplayably) {
+  const PropertyOptions options = tempOptions("fail");
+  // Fails whenever n >= 6, with the generated partition as evidence.
+  const auto property = [](const FailingCase& c) -> PropertyRun {
+    if (c.n < 6) return {CheckReport{}, {}};
+    Rng rng(c.seed);
+    CheckReport report;
+    report.add("test.size-limit", "n=" + std::to_string(c.n));
+    return {report, genPartition(static_cast<GenStyle>(c.style), c.n, c.ratio,
+                                 rng)};
+  };
+  const PropertyOutcome outcome = runProperty("size-limit", options, property);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.minimal.n, 6);  // shrunk to the threshold
+  EXPECT_EQ(outcome.failure.violations[0].property, "test.size-limit");
+
+  // The .pp artifact replays: it is a valid partition of the minimal size.
+  ASSERT_FALSE(outcome.artifactPath.empty());
+  const Partition dumped = loadPartition(outcome.artifactPath);
+  EXPECT_EQ(dumped.n(), outcome.minimal.n);
+
+  // The .case descriptor names the case and the violation.
+  ASSERT_FALSE(outcome.casePath.empty());
+  std::ifstream in(outcome.casePath);
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("test.size-limit"), std::string::npos);
+  EXPECT_NE(text.str().find("seed"), std::string::npos);
+
+  // The failure report names the artifact so a human can find it.
+  EXPECT_NE(outcome.str().find(outcome.artifactPath), std::string::npos);
+  std::filesystem::remove_all(options.artifactDir);
+}
+
+TEST(HarnessTest, DeterministicForAFixedSeed) {
+  const auto property = [](const FailingCase& c) -> PropertyRun {
+    CheckReport report;
+    if (c.n % 2 == 1) report.add("test.odd", c.str());
+    return {report, {}};
+  };
+  const PropertyOptions options = tempOptions("det");
+  const PropertyOutcome a = runProperty("odd", options, property);
+  const PropertyOutcome b = runProperty("odd", options, property);
+  ASSERT_FALSE(a.passed);
+  EXPECT_EQ(a.minimal.n, b.minimal.n);
+  EXPECT_EQ(a.minimal.seed, b.minimal.seed);
+  EXPECT_EQ(a.iterations, b.iterations);
+  std::filesystem::remove_all(options.artifactDir);
+}
+
+TEST(HarnessTest, RunPropertyOnCaseChecksTheExactCase) {
+  const PropertyOptions options = tempOptions("oncase");
+  FailingCase c;
+  c.n = 9;
+  c.ratio = Ratio{5, 2, 1};
+  c.seed = 42;
+  const PropertyOutcome ok = runPropertyOnCase(
+      "fixed-ok", c, options,
+      [](const FailingCase&) -> PropertyRun { return {CheckReport{}, {}}; });
+  EXPECT_TRUE(ok.passed);
+  EXPECT_EQ(ok.iterations, 1);
+
+  const PropertyOutcome bad = runPropertyOnCase(
+      "fixed-bad", c, options, [](const FailingCase& fc) -> PropertyRun {
+        CheckReport report;
+        report.add("test.always", fc.str());
+        return {report, {}};
+      });
+  ASSERT_FALSE(bad.passed);
+  EXPECT_EQ(bad.minimal.seed, 42u);            // seed survives shrinking
+  EXPECT_EQ(bad.minimal.n, options.minN);      // everything else minimised
+  std::filesystem::remove_all(options.artifactDir);
+}
+
+}  // namespace
+}  // namespace pushpart

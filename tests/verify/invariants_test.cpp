@@ -1,0 +1,158 @@
+#include "verify/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dfa/schedule.hpp"
+#include "grid/builder.hpp"
+#include "shapes/candidates.hpp"
+#include "support/rng.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(CheckReportTest, EmptyIsOkAndMergeAccumulates) {
+  CheckReport a;
+  EXPECT_TRUE(a.ok());
+  EXPECT_EQ(a.str(), "ok");
+  a.add("x.first", "one");
+  CheckReport b;
+  b.add("x.second", "two");
+  a.merge(b);
+  EXPECT_FALSE(a.ok());
+  ASSERT_EQ(a.violations.size(), 2u);
+  EXPECT_EQ(a.violations[1].property, "x.second");
+  EXPECT_NE(a.str().find("x.first: one"), std::string::npos);
+}
+
+TEST(InferRatioTest, RecoversElementCountsOfGeneratingRatio) {
+  Rng rng(7);
+  for (const Ratio& ratio : {Ratio{2, 1, 1}, Ratio{5, 2, 1},
+                             Ratio{10, 3, 1}}) {
+    const Partition q = randomPartition(12, ratio, rng);
+    const Ratio inferred = inferRatio(q);
+    // The inferred ratio need not equal the original numerically, but must
+    // reproduce the same element counts — that is what replay cares about.
+    EXPECT_EQ(inferred.elementCounts(12), ratio.elementCounts(12))
+        << ratio.str() << " vs inferred " << inferred.str();
+  }
+}
+
+TEST(InferRatioTest, ThrowsWhenASlowProcessorOwnsNothing) {
+  const Partition q(6);  // all P
+  EXPECT_THROW(inferRatio(q), std::invalid_argument);
+}
+
+TEST(CheckCountersTest, PassesOnFreshRandomPartition) {
+  Rng rng(3);
+  const Partition q = randomPartition(10, Ratio{3, 2, 1}, rng);
+  EXPECT_TRUE(checkCounters(q).ok());
+}
+
+TEST(CheckConservationTest, FlagsChangedCounts) {
+  Rng rng(3);
+  const Partition before = randomPartition(8, Ratio{2, 1, 1}, rng);
+  Partition after = before;
+  // Reassign one R cell to P: counts diverge.
+  for (int i = 0; i < 8 && after.count(Proc::R) == before.count(Proc::R); ++i)
+    for (int j = 0; j < 8; ++j)
+      if (after.at(i, j) == Proc::R) {
+        after.set(i, j, Proc::P);
+        break;
+      }
+  const CheckReport report = checkConservation(before, after);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].property, "conservation.counts");
+}
+
+TEST(CheckPushOutcomeTest, AcceptsARealEnginePush) {
+  Rng rng(11);
+  Partition q = randomPartition(12, Ratio{3, 1, 1}, rng);
+  for (int attempts = 0; attempts < 64; ++attempts) {
+    const Partition before = q;
+    const PushOutcome outcome =
+        tryPush(q, attempts % 2 == 0 ? Proc::R : Proc::S,
+                kAllDirections[static_cast<std::size_t>(attempts) %
+                               kAllDirections.size()]);
+    EXPECT_TRUE(checkPushOutcome(before, q, outcome).ok())
+        << checkPushOutcome(before, q, outcome).str();
+  }
+}
+
+TEST(CheckPushOutcomeTest, FlagsTamperedBookkeeping) {
+  Rng rng(11);
+  Partition q = randomPartition(12, Ratio{3, 1, 1}, rng);
+  Partition before = q;
+  PushOutcome outcome;
+  while (!outcome.applied) {
+    before = q;
+    outcome = tryPush(q, Proc::R, Direction::Down);
+    if (!outcome.applied) outcome = tryPush(q, Proc::S, Direction::Right);
+  }
+  PushOutcome tampered = outcome;
+  tampered.vocAfter = outcome.vocAfter - 1;  // claims more improvement
+  EXPECT_FALSE(checkPushOutcome(before, q, tampered).ok());
+}
+
+TEST(CheckPushOutcomeTest, FlagsMutationWithoutApplication) {
+  Rng rng(5);
+  const Partition before = randomPartition(8, Ratio{2, 1, 1}, rng);
+  Partition after = before;
+  after.swapCells(0, 0, 7, 7);
+  PushOutcome outcome;  // applied = false, yet the grid changed
+  EXPECT_FALSE(checkPushOutcome(before, after, outcome).ok());
+}
+
+TEST(CheckDfaRunTest, AcceptsACompleteCondensation) {
+  Rng rng(23);
+  const Partition q0 = randomPartition(16, Ratio{5, 2, 1}, rng);
+  const Schedule schedule = Schedule::random(rng);
+  const DfaResult result = runDfa(q0, schedule, {});
+  const CheckReport report = checkDfaRun(q0, result);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(CheckSerializeRoundTripTest, PassesForArbitraryPartitions) {
+  Rng rng(9);
+  for (int n : {3, 7, 16}) {
+    const Partition q = randomPartition(n, Ratio{2, 1, 1}, rng);
+    EXPECT_TRUE(checkSerializeRoundTrip(q).ok()) << "n=" << n;
+  }
+}
+
+TEST(CheckCondensedStateTest, AcceptsCanonicalCandidates) {
+  const Ratio ratio{5, 2, 1};
+  for (CandidateShape shape : kAllCandidates) {
+    if (!candidateFeasible(shape, 20, ratio)) continue;
+    const Partition q = makeCandidate(shape, 20, ratio);
+    const CheckReport report = checkCondensedState(q, ratio);
+    EXPECT_TRUE(report.ok()) << candidateName(shape) << ": " << report.str();
+  }
+}
+
+TEST(CheckCondensedStateTest, AcceptsDfaAcceptStates) {
+  Rng rng(31);
+  const Ratio ratio{3, 1, 1};
+  const Partition q0 = randomPartition(14, ratio, rng);
+  const DfaResult result = runDfa(q0, Schedule::full(), {});
+  const CheckReport report = checkCondensedState(result.final, ratio);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(CheckOracleTierAgreementTest, TiersAgreeOnTypicalRequests) {
+  Oracle oracle;
+  PlanRequest req;
+  req.n = 48;
+  req.ratio = Ratio{5, 2, 1};
+  req.searchRuns = 2;
+  const CheckReport report = checkOracleTierAgreement(oracle, req);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(CorpusFilesTest, MissingDirectoryYieldsEmptyList) {
+  EXPECT_TRUE(corpusFiles("/no/such/dir").empty());
+}
+
+}  // namespace
+}  // namespace pushpart

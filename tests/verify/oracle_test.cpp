@@ -1,0 +1,106 @@
+#include "verify/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "shapes/candidates.hpp"
+
+namespace pushpart {
+namespace {
+
+std::int64_t bestCandidateVoc(int n, const Ratio& ratio) {
+  std::int64_t best = -1;
+  for (CandidateShape shape : kAllCandidates) {
+    if (!candidateFeasible(shape, n, ratio)) continue;
+    const std::int64_t voc =
+        makeCandidate(shape, n, ratio).volumeOfCommunication();
+    if (best < 0 || voc < best) best = voc;
+  }
+  return best;
+}
+
+TEST(SmallNOracleTest, ArrangementCountExactForTinyGrids) {
+  // n=3, ratio 7:1:1 -> eR = eS = 1, eP = 7: 9 * 8 = 72 arrangements.
+  EXPECT_EQ(arrangementCountCapped(3, Ratio{7, 1, 1}, 1'000'000), 72);
+  // n=2, ratio 2:1:1 -> eR = eS = 1: 4 * 3 = 12.
+  EXPECT_EQ(arrangementCountCapped(2, Ratio{2, 1, 1}, 1'000'000), 12);
+}
+
+TEST(SmallNOracleTest, ArrangementCountSaturatesAtCap) {
+  EXPECT_EQ(arrangementCountCapped(5, Ratio{2, 1, 1}, 1000), 1000);
+  // The n=18 state space dwarfs any int64 budget; must clamp, not overflow.
+  EXPECT_EQ(arrangementCountCapped(18, Ratio{2, 1, 1}, 1'000'000),
+            1'000'000);
+}
+
+// Ground-truth minima confirmed by an independent naive full enumeration
+// (plain recursive placement, no pruning) over the acceptance ratio set.
+TEST(SmallNOracleTest, ExhaustiveMinimaMatchIndependentBruteForce) {
+  struct Point {
+    int n;
+    Ratio ratio;
+    std::int64_t minVoc;
+  };
+  const Point points[] = {
+      {4, Ratio{2, 1, 1}, 24},  {4, Ratio{3, 1, 1}, 28},
+      {4, Ratio{5, 2, 1}, 24},  {4, Ratio{10, 3, 1}, 20},
+      {5, Ratio{10, 3, 1}, 35},
+  };
+  for (const Point& p : points) {
+    const SmallNOracleResult r = smallNOptimalVoc(p.n, p.ratio);
+    EXPECT_EQ(r.tier, SmallNOracleTier::kExhaustive)
+        << "n=" << p.n << " ratio=" << p.ratio.str();
+    EXPECT_EQ(r.minVoc, p.minVoc)
+        << "n=" << p.n << " ratio=" << p.ratio.str();
+  }
+}
+
+TEST(SmallNOracleTest, BestPartitionAchievesMinVocWithExactCounts) {
+  const Ratio ratio{5, 2, 1};
+  const SmallNOracleResult r = smallNOptimalVoc(4, ratio);
+  EXPECT_EQ(r.best.volumeOfCommunication(), r.minVoc);
+  const auto counts = ratio.elementCounts(4);
+  EXPECT_EQ(r.best.count(Proc::R), counts[procSlot(Proc::R)]);
+  EXPECT_EQ(r.best.count(Proc::S), counts[procSlot(Proc::S)]);
+  EXPECT_EQ(r.best.count(Proc::P), counts[procSlot(Proc::P)]);
+  r.best.validateCounters();
+}
+
+TEST(SmallNOracleTest, ExhaustiveNeverWorseThanCanonicalCandidates) {
+  for (const Ratio& ratio : {Ratio{2, 1, 1}, Ratio{3, 1, 1}, Ratio{5, 2, 1},
+                             Ratio{10, 3, 1}}) {
+    const SmallNOracleResult r = smallNOptimalVoc(4, ratio);
+    ASSERT_EQ(r.tier, SmallNOracleTier::kExhaustive);
+    EXPECT_LE(r.minVoc, bestCandidateVoc(4, ratio)) << ratio.str();
+  }
+}
+
+TEST(SmallNOracleTest, TinyBudgetFallsBackToFamilyTier) {
+  SmallNOracleOptions options;
+  options.maxExhaustiveStates = 10;  // far below any real state space
+  const SmallNOracleResult r = smallNOptimalVoc(4, Ratio{2, 1, 1}, options);
+  EXPECT_EQ(r.tier, SmallNOracleTier::kFamily);
+  // The family minimum is an upper bound on the true minimum (24) and never
+  // worse than the best canonical candidate (the family contains them).
+  EXPECT_GE(r.minVoc, 24);
+  EXPECT_LE(r.minVoc, bestCandidateVoc(4, Ratio{2, 1, 1}));
+  EXPECT_EQ(r.best.volumeOfCommunication(), r.minVoc);
+}
+
+TEST(SmallNOracleTest, FamilyTierSelectedAboveBudgetAndBoundsCandidates) {
+  // n=5 at 2:1:1 has ~4.8e9 arrangements — over the default budget.
+  const SmallNOracleResult r = smallNOptimalVoc(5, Ratio{2, 1, 1});
+  EXPECT_EQ(r.tier, SmallNOracleTier::kFamily);
+  EXPECT_LE(r.minVoc, bestCandidateVoc(5, Ratio{2, 1, 1}));
+  EXPECT_EQ(r.best.volumeOfCommunication(), r.minVoc);
+  r.best.validateCounters();
+}
+
+TEST(SmallNOracleTest, DegenerateSizeThrows) {
+  EXPECT_THROW(smallNOptimalVoc(1, Ratio{2, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(smallNOptimalVoc(0, Ratio{2, 1, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,69 @@
+#include "verify/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace pushpart {
+namespace {
+
+FailingCase bigCase() {
+  FailingCase c;
+  c.n = 87;
+  c.ratio = Ratio{7.3, 4.1, 1.0};
+  c.seed = 12345;
+  c.style = 2;
+  return c;
+}
+
+TEST(ShrinkTest, SizeOnlyFailureShrinksToThreshold) {
+  // Fails exactly when n >= 10: the minimum must land on n == 10 with the
+  // ratio shrunk all the way down to the degenerate 1:1:1.
+  const auto holds = [](const FailingCase& c) { return c.n < 10; };
+  const ShrinkResult r = shrinkCase(bigCase(), holds);
+  EXPECT_EQ(r.minimal.n, 10);
+  EXPECT_EQ(r.minimal.ratio.str(), (Ratio{1, 1, 1}).str());
+  EXPECT_GT(r.rounds, 0);
+  EXPECT_GT(r.attempts, r.rounds);
+}
+
+TEST(ShrinkTest, SeedAndStyleAreNeverShrunk) {
+  const auto holds = [](const FailingCase&) { return false; };  // always fails
+  const ShrinkResult r = shrinkCase(bigCase(), holds);
+  EXPECT_EQ(r.minimal.seed, 12345u);
+  EXPECT_EQ(r.minimal.style, 2);
+  EXPECT_EQ(r.minimal.n, 3);  // default ShrinkOptions floor
+}
+
+TEST(ShrinkTest, RespectsMinNFloor) {
+  const auto holds = [](const FailingCase&) { return false; };
+  ShrinkOptions options;
+  options.minN = 6;
+  const ShrinkResult r = shrinkCase(bigCase(), holds, options);
+  EXPECT_EQ(r.minimal.n, 6);
+}
+
+TEST(ShrinkTest, RatioDependentFailureKeepsTheFailingRatio) {
+  // Fails only while the ratio stays lopsided (P_r >= 5); shrinking must not
+  // snap to 2:1:1, because that case passes.
+  const auto holds = [](const FailingCase& c) { return c.ratio.p < 5.0; };
+  const ShrinkResult r = shrinkCase(bigCase(), holds);
+  EXPECT_GE(r.minimal.ratio.p, 5.0);
+  EXPECT_EQ(r.minimal.n, 3);  // n still shrinks independently
+}
+
+TEST(ShrinkTest, PassingInputIsRejected) {
+  const auto holds = [](const FailingCase&) { return true; };
+  EXPECT_THROW(shrinkCase(bigCase(), holds), CheckError);
+}
+
+TEST(ShrinkTest, MinimalCaseIsAFixpoint) {
+  const auto holds = [](const FailingCase& c) { return c.n < 7; };
+  const ShrinkResult first = shrinkCase(bigCase(), holds);
+  const ShrinkResult again = shrinkCase(first.minimal, holds);
+  EXPECT_EQ(again.minimal.n, first.minimal.n);
+  EXPECT_EQ(again.rounds, 0);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "support/flags.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
+#include "verify/invariants.hpp"
 
 using namespace pushpart;
 
@@ -78,6 +80,7 @@ int main(int argc, char** argv) {
   std::atomic<std::int64_t> pushes{0};
   std::atomic<int> unknowns{0};
   std::atomic<int> dominanceViolations{0};
+  std::atomic<int> invariantViolations{0};
   std::atomic<bool> stop{false};
   std::mutex reportMutex;
   int tally[kNumArchetypes] = {};
@@ -99,14 +102,28 @@ int main(int argc, char** argv) {
       Partition q0 = rng.chance(0.3)
                          ? randomClusteredPartition(n, ratio, rng)
                          : randomPartition(n, ratio, rng);
+      // Every validateEvery-th run goes through the shared checker library
+      // (src/verify), which needs the start state to check conservation and
+      // VoC bookkeeping across the whole condensation.
+      const bool validate = validateEvery > 0 && run % validateEvery == 0;
+      std::optional<Partition> start;
+      if (validate) start = q0;
       const DfaResult result = runDfa(std::move(q0), schedule, {});
       pushes += result.pushesApplied;
 
-      if (validateEvery > 0 && run % validateEvery == 0) {
-        result.final.validateCounters();
+      if (validate) {
+        const CheckReport report = checkDfaRun(*start, result);
+        if (!report.ok()) {
+          invariantViolations.fetch_add(1);
+          std::lock_guard<std::mutex> lock(reportMutex);
+          std::printf("INVARIANT VIOLATION at run %lld (n=%d ratio=%s): %s\n",
+                      static_cast<long long>(run), n, ratio.str().c_str(),
+                      report.str().c_str());
+        }
         PUSHPART_LOG(kDebug) << "run " << run << ": n=" << n << " ratio="
                              << ratio.str() << " pushes="
-                             << result.pushesApplied << " counters ok";
+                             << result.pushesApplied << " invariants "
+                             << (report.ok() ? "ok" : "VIOLATED");
       }
 
       const ArchetypeInfo info = classifyArchetype(result.final);
@@ -121,8 +138,9 @@ int main(int argc, char** argv) {
         savePartition(result.final, path);
         // The form of Postulate 1 the paper's conclusions rely on: a locked
         // non-archetype state must never *undercut* the canonical
-        // candidates. If reduceToArchetypeA fails, this state communicates
-        // less than every candidate — a refutation, not just a locked shape.
+        // candidates. checkCondensedState is the same dominance check the
+        // verify suite and the corpus-replay gate run.
+        const CheckReport condensed = checkCondensedState(result.final, ratio);
         Partition reduced = result.final;
         const auto reduction = reduceToArchetypeA(reduced, ratio);
         std::lock_guard<std::mutex> lock(reportMutex);
@@ -130,7 +148,7 @@ int main(int argc, char** argv) {
                     n, ratio.str().c_str(), schedule.str().c_str(),
                     path.c_str());
         std::printf("  %s\n", info.str().c_str());
-        if (reduction.has_value()) {
+        if (condensed.ok()) {
           std::printf(
               "  locked state, but candidate %s dominates (VoC %lld <= "
               "%lld) — weak Postulate 1 holds\n",
@@ -138,9 +156,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(reduction->vocAfter),
               static_cast<long long>(reduction->vocBefore));
         } else {
+          std::printf("  checker: %s\n", condensed.str().c_str());
           std::printf(
-              "  !!! state UNDERCUTS every canonical candidate — candidate-"
-              "optimality refutation, please report\n");
+              "  !!! state escapes the canonical-candidate dominance check — "
+              "candidate-optimality refutation, please report\n");
           dominanceViolations.fetch_add(1);
         }
       }
@@ -157,6 +176,11 @@ int main(int argc, char** argv) {
   for (int a = 0; a < kNumArchetypes; ++a)
     std::printf("  %-8s %d\n", archetypeName(static_cast<Archetype>(a)),
                 tally[a]);
+  if (invariantViolations.load() > 0) {
+    std::printf("%d engine invariant violation(s) — see log above\n",
+                invariantViolations.load());
+    return 2;
+  }
   if (unknowns.load() == 0) {
     std::printf("no counterexample found — Postulate 1 survives this hunt\n");
     return 0;

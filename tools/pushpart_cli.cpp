@@ -13,6 +13,8 @@
 //                      [--death-proc=R] [--death-frac=0.5 | --death-at=<s>]
 //                      [--seed=1] [--timeout=1e-3] [--max-attempts=8]
 //                      [--no-rebalance]
+//   pushpart verify    [--deep] [--seed=1] [--corpus=tests/corpus]
+//                      [--artifacts=verify-artifacts]
 //
 // `search` runs one randomized DFA condensation and (optionally) saves the
 // condensed partition in the pushpart-partition v1 text format; `classify`,
@@ -23,8 +25,11 @@
 // cross-checked by a budgeted DFA search) — and with --repl answers one
 // request per stdin line against a shared cache; `faults` replays a saved
 // partition through the fault-injected simulator and reports the
-// retry/recovery behaviour next to the fault-free baseline. All commands
-// accept --log-level=debug|info|warn|error.
+// retry/recovery behaviour next to the fault-free baseline; `verify` runs
+// the property-based verification suite (src/verify): push/DFA/serialize
+// invariants with shrinking, the exhaustive small-N differential sweep, and
+// replay of the checked-in counterexample corpus. All commands accept
+// --log-level=debug|info|warn|error.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -46,6 +51,7 @@
 #include "support/flags.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
+#include "verify/suite.hpp"
 
 using namespace pushpart;
 
@@ -67,6 +73,8 @@ int usage() {
       "            [--death-proc=R] [--death-frac=0.5 | --death-at=<s>]\n"
       "            [--seed=1] [--timeout=1e-3] [--max-attempts=8]\n"
       "            [--no-rebalance]\n"
+      "  verify    [--deep] [--seed=1] [--corpus=tests/corpus]\n"
+      "            [--artifacts=verify-artifacts]\n"
       "global: --log-level=debug|info|warn|error\n";
   return 2;
 }
@@ -370,6 +378,17 @@ int cmdFaults(const Flags& flags) {
   return r.completed ? 0 : 1;
 }
 
+int cmdVerify(const Flags& flags) {
+  VerifySuiteOptions options;
+  options.deep = flags.b("deep", false);
+  options.seed = static_cast<std::uint64_t>(flags.i64("seed", 1));
+  options.artifactDir = flags.str("artifacts", "verify-artifacts");
+  options.corpusDir = flags.str("corpus", "");
+  const VerifySuiteReport report = runVerifySuite(options);
+  std::cout << report.summary() << "\n";
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -385,6 +404,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmdPlanOracle(flags);
     if (command == "commplan") return cmdCommPlan(flags);
     if (command == "faults") return cmdFaults(flags);
+    if (command == "verify") return cmdVerify(flags);
     std::cerr << "pushpart: unknown command '" << command << "'\n";
     return usage();
   } catch (const std::exception& e) {
