@@ -35,16 +35,27 @@ BatchSummary runBatch(const BatchOptions& options,
 
   std::atomic<int> next{0};
   std::atomic<int> completed{0};
+  std::atomic<int> truncatedRuns{0};
+  std::atomic<int> skippedRuns{0};
   std::mutex resultMutex;
   std::mutex failureMutex;
   std::vector<BatchFailure> failures;
 
   const Rng master(options.seed);
 
+  // The batch token governs every walk: in-flight runs observe it at their
+  // next DFA check point, unclaimed runs are skipped outright.
+  DfaOptions dfaOptions = options.dfa;
+  dfaOptions.cancel = options.cancel;
+
   auto worker = [&]() {
     for (;;) {
       const int run = next.fetch_add(1);
       if (run >= options.runs) return;
+      if (options.cancel.cancelled()) {
+        skippedRuns.fetch_add(1);
+        continue;  // keep draining indices so skipped runs are counted
+      }
       // A failed run — walk or callback — is recorded and skipped; the
       // worker stays alive and the rest of the batch still runs.
       try {
@@ -57,13 +68,14 @@ BatchSummary runBatch(const BatchOptions& options,
                 ? randomClusteredPartition(options.n, options.ratio, rng)
                 : randomPartition(options.n, options.ratio, rng);
         BatchRun ctx(run, schedule,
-                     runDfa(std::move(q0), schedule, options.dfa));
+                     runDfa(std::move(q0), schedule, dfaOptions));
+        const bool cancelled = ctx.result.stop == DfaStop::kCancelled;
 
         {
           std::lock_guard<std::mutex> lock(resultMutex);
           onResult(ctx);
         }
-        completed.fetch_add(1);
+        (cancelled ? truncatedRuns : completed).fetch_add(1);
       } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(failureMutex);
         failures.push_back({run, e.what()});
@@ -84,7 +96,8 @@ BatchSummary runBatch(const BatchOptions& options,
             [](const BatchFailure& a, const BatchFailure& b) {
               return a.runIndex < b.runIndex;
             });
-  return BatchSummary{completed.load(), std::move(failures)};
+  return BatchSummary{completed.load(), truncatedRuns.load(),
+                      skippedRuns.load(), std::move(failures)};
 }
 
 }  // namespace pushpart

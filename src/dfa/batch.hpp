@@ -14,6 +14,7 @@
 
 #include "dfa/dfa.hpp"
 #include "grid/ratio.hpp"
+#include "support/deadline.hpp"
 
 namespace pushpart {
 
@@ -27,6 +28,13 @@ struct BatchOptions {
   /// paper's scattered builder, diversifying start states. Must be in [0,1];
   /// runBatch rejects anything else (including NaN) with a CheckError.
   double clusteredStartFraction = 0.25;
+  /// Cooperative cancellation for the whole batch. Polled before every run
+  /// is claimed, and threaded into each run's DfaOptions so in-flight walks
+  /// stop at their next check point. A cancelled batch returns best-so-far:
+  /// completed runs were delivered normally, the summary is marked
+  /// truncated, and nothing throws. (Any token already set on `dfa.cancel`
+  /// is replaced by this one.)
+  CancelToken cancel;
   DfaOptions dfa;
 };
 
@@ -49,10 +57,16 @@ struct BatchFailure {
 /// Batch outcome: how many runs completed and which ones failed. A batch
 /// with failures still ran every other run to completion.
 struct BatchSummary {
-  int completed = 0;
+  int completed = 0;      ///< Runs whose walk reached a natural stop.
+  int truncatedRuns = 0;  ///< Runs delivered with DfaStop::kCancelled.
+  int skippedRuns = 0;    ///< Runs never started (cancel fired first).
   std::vector<BatchFailure> failures;  ///< Sorted by runIndex.
 
-  bool allCompleted() const { return failures.empty(); }
+  bool allCompleted() const { return failures.empty() && !truncated(); }
+  /// True when cancellation cut the batch short: some runs were skipped or
+  /// stopped mid-walk. Completed runs' results are valid best-so-far
+  /// evidence.
+  bool truncated() const { return truncatedRuns > 0 || skippedRuns > 0; }
 };
 
 /// Executes `options.runs` DFA walks, invoking `onResult` for each completed
@@ -63,6 +77,11 @@ struct BatchSummary {
 /// in the returned summary (index + message) and the batch carries on with
 /// the remaining runs; worker threads never die and nothing is rethrown.
 /// Callers that require a clean batch should check summary.allCompleted().
+///
+/// Cancellation (options.cancel) is cooperative: runs already in flight stop
+/// at their next DFA check point and are delivered to `onResult` with
+/// result.stop == DfaStop::kCancelled (consumers may filter on it); runs not
+/// yet claimed are skipped. The summary reports both counts.
 BatchSummary runBatch(const BatchOptions& options,
                       const std::function<void(const BatchRun&)>& onResult);
 

@@ -29,6 +29,15 @@ DfaResult runDfa(Partition q0, const Schedule& schedule,
   std::unordered_set<std::uint64_t> plateauStates;
   int stalledSweeps = 0;
   bool running = true;
+  const std::int64_t cancelEvery =
+      options.cancelCheckEvery > 0 ? options.cancelCheckEvery : 1;
+
+  // Sweep boundaries and every cancelEvery-th push poll the token; a push is
+  // transactional, so stopping between pushes always leaves a valid state.
+  if (options.cancel.cancelled()) {
+    result.stop = DfaStop::kCancelled;
+    running = false;
+  }
 
   while (running) {
     ++result.sweeps;
@@ -46,8 +55,19 @@ DfaResult runDfa(Partition q0, const Schedule& schedule,
         running = false;
         break;
       }
+      if (result.pushesApplied % cancelEvery == 0 &&
+          options.cancel.cancelled()) {
+        result.stop = DfaStop::kCancelled;
+        running = false;
+        break;
+      }
     }
     if (!running) break;
+
+    if (options.cancel.cancelled()) {
+      result.stop = DfaStop::kCancelled;
+      break;
+    }
 
     if (!anyApplied) {
       result.stop = DfaStop::kCondensed;
@@ -70,7 +90,8 @@ DfaResult runDfa(Partition q0, const Schedule& schedule,
     }
   }
 
-  if (options.beautifyResult) result.beautify = beautify(q);
+  if (options.beautifyResult && result.stop != DfaStop::kCancelled)
+    result.beautify = beautify(q);
 
   result.vocEnd = q.volumeOfCommunication();
   maybeSnapshot(true);  // final state

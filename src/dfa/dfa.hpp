@@ -26,6 +26,7 @@
 #include "grid/partition.hpp"
 #include "push/beautify.hpp"
 #include "push/push.hpp"
+#include "support/deadline.hpp"
 
 namespace pushpart {
 
@@ -40,6 +41,13 @@ struct DfaOptions {
   bool beautifyResult = true;
   /// Consecutive non-improving sweeps tolerated before declaring a stall.
   int maxStalledSweeps = 50;
+  /// Cooperative cancellation: polled at every sweep boundary and every
+  /// `cancelCheckEvery` applied pushes. A cancelled walk stops with
+  /// DfaStop::kCancelled and returns its current (always-valid) partition —
+  /// never an exception, never a torn state. The beautify pass is skipped
+  /// for cancelled walks (the caller asked for time back, not polish).
+  CancelToken cancel;
+  std::int64_t cancelCheckEvery = 1024;
 };
 
 /// Point-in-time view of a run, for Fig. 7 style visualisation.
@@ -55,6 +63,7 @@ enum class DfaStop {
   kCycle,         ///< Revisited a state on a VoC plateau.
   kStalled,       ///< Too many non-improving sweeps.
   kPushBudget,    ///< options.maxPushes exhausted.
+  kCancelled,     ///< options.cancel fired; best-so-far state returned.
 };
 
 constexpr const char* dfaStopName(DfaStop s) {
@@ -63,6 +72,7 @@ constexpr const char* dfaStopName(DfaStop s) {
     case DfaStop::kCycle: return "cycle";
     case DfaStop::kStalled: return "stalled";
     case DfaStop::kPushBudget: return "push-budget";
+    case DfaStop::kCancelled: return "cancelled";
   }
   return "?";
 }

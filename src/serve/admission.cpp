@@ -1,0 +1,161 @@
+#include "serve/admission.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace pushpart {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  if (options_.maxConcurrency < 0)
+    throw std::invalid_argument(
+        "AdmissionController: maxConcurrency must be >= 0 (0 = unlimited)");
+  if (options_.maxQueue < 0)
+    throw std::invalid_argument(
+        "AdmissionController: maxQueue must be >= 0");
+}
+
+AdmissionOutcome AdmissionController::acquire(const Deadline& deadline) {
+  if (!enabled()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++admitted_;
+    ++inUse_;
+    return AdmissionOutcome::kAdmitted;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (inUse_ < options_.maxConcurrency) {
+    ++inUse_;
+    ++admitted_;
+    return AdmissionOutcome::kAdmitted;
+  }
+  if (queued_ >= options_.maxQueue) {
+    ++shedQueueFull_;
+    return AdmissionOutcome::kQueueFull;
+  }
+
+  ++queued_;
+  const auto freeSlot = [&]() { return inUse_ < options_.maxConcurrency; };
+  bool gotSlot = false;
+  if (deadline.isUnlimited()) {
+    slotFreed_.wait(lock, freeSlot);
+    gotSlot = true;
+  } else {
+    // The remaining budget is applied as a wall-time bound; an
+    // already-expired deadline degenerates to a zero-length wait.
+    gotSlot = slotFreed_.wait_for(
+        lock, std::chrono::duration<double>(deadline.remainingSeconds()),
+        freeSlot);
+  }
+  --queued_;
+  if (!gotSlot) {
+    ++shedTimeout_;
+    return AdmissionOutcome::kTimedOut;
+  }
+  ++inUse_;
+  ++admitted_;
+  return AdmissionOutcome::kAdmitted;
+}
+
+void AdmissionController::release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inUse_;
+  }
+  slotFreed_.notify_one();
+}
+
+AdmissionController::Counters AdmissionController::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Counters c;
+  c.admitted = admitted_;
+  c.shedQueueFull = shedQueueFull_;
+  c.shedTimeout = shedTimeout_;
+  c.inUse = inUse_;
+  c.queued = queued_;
+  return c;
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {
+  if (options_.failureThreshold < 0)
+    throw std::invalid_argument(
+        "CircuitBreaker: failureThreshold must be >= 0 (0 = disabled)");
+  if (options_.openSeconds < 0.0)
+    throw std::invalid_argument("CircuitBreaker: openSeconds must be >= 0");
+}
+
+const Clock& CircuitBreaker::clock() const {
+  return options_.clock != nullptr ? *options_.clock : Clock::steady();
+}
+
+bool CircuitBreaker::allowRequest() {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (clock().nowSeconds() - openedAt_ >= options_.openSeconds) {
+        state_ = BreakerState::kHalfOpen;
+        probeInFlight_ = true;
+        ++probes_;
+        return true;
+      }
+      ++shortCircuited_;
+      return false;
+    case BreakerState::kHalfOpen:
+      if (!probeInFlight_) {  // previous probe resolved without closing
+        probeInFlight_ = true;
+        ++probes_;
+        return true;
+      }
+      ++shortCircuited_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::recordSuccess() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = BreakerState::kClosed;
+  consecutiveFailures_ = 0;
+  probeInFlight_ = false;
+}
+
+void CircuitBreaker::recordFailure() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe busted its deadline too: straight back to open.
+    state_ = BreakerState::kOpen;
+    openedAt_ = clock().nowSeconds();
+    probeInFlight_ = false;
+    ++trips_;
+    return;
+  }
+  ++consecutiveFailures_;
+  if (state_ == BreakerState::kClosed &&
+      consecutiveFailures_ >= options_.failureThreshold) {
+    state_ = BreakerState::kOpen;
+    openedAt_ = clock().nowSeconds();
+    ++trips_;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+CircuitBreaker::Counters CircuitBreaker::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Counters c;
+  c.trips = trips_;
+  c.probes = probes_;
+  c.shortCircuited = shortCircuited_;
+  c.consecutiveFailures = consecutiveFailures_;
+  return c;
+}
+
+}  // namespace pushpart

@@ -9,16 +9,52 @@
 
 namespace pushpart {
 
+/// How an answer fell short of the requested tier under overload
+/// (DESIGN.md §12's degradation ladder). kNone means full fidelity.
+enum class DegradeReason {
+  kNone = 0,
+  kTruncatedSearch,  ///< Tier B started; the deadline cancelled it mid-batch.
+  kNoTimeForSearch,  ///< Deadline left no budget for tier B at all.
+  kBreakerOpen,      ///< Tier B short-circuited by the open circuit breaker.
+  kLate,             ///< Full answer, but it completed after its deadline.
+};
+
+constexpr const char* degradeReasonName(DegradeReason r) {
+  switch (r) {
+    case DegradeReason::kNone: return "none";
+    case DegradeReason::kTruncatedSearch: return "truncated-search";
+    case DegradeReason::kNoTimeForSearch: return "no-time-for-search";
+    case DegradeReason::kBreakerOpen: return "breaker-open";
+    case DegradeReason::kLate: return "late";
+  }
+  return "?";
+}
+
 /// One resolved plan: the recommended canonical shape plus the modeled cost
 /// evidence behind it. Cached verbatim — a cache hit returns the stored
 /// answer bit-for-bit, including the wall time of the cold solve that
-/// produced it (the *request* latency lives in PlanResponse).
+/// produced it (the *request* latency lives in PlanResponse). Only
+/// full-fidelity answers are cached: a degraded or truncated answer is
+/// served once and recomputed on the next request.
 struct PlanAnswer {
   CandidateShape shape = CandidateShape::kSquareCorner;  ///< Recommendation.
   ModelResult model;        ///< Modeled timing of the recommended partition.
   std::int64_t voc = 0;     ///< Volume of Communication of that partition.
-  PlanTier tier = PlanTier::kFast;  ///< Which tier produced the answer.
+  PlanTier tier = PlanTier::kFast;  ///< Tier the request asked for.
+  /// Tier that actually produced evidence; <= tier. A degraded tier-B
+  /// request that only got the closed-form ranking records kFast here.
+  PlanTier servedTier = PlanTier::kFast;
+  DegradeReason degrade = DegradeReason::kNone;
+  /// Tier-B evidence is partial: the batch was cancelled mid-flight and
+  /// searchCompleted < searchRuns walks finished.
+  bool truncated = false;
   double solveSeconds = 0.0;  ///< Wall time of the underlying cold solve.
+
+  /// True when the answer is exactly what an unhurried solve would produce —
+  /// the cacheability predicate.
+  bool fullFidelity() const {
+    return degrade == DegradeReason::kNone && !truncated;
+  }
 
   // Tier-B evidence (all zero for tier A): the budgeted DFA batch search
   // cross-checks the candidate ranking the way the paper's §VII experiments

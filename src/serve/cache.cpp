@@ -1,5 +1,6 @@
 #include "serve/cache.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -18,11 +19,37 @@ PlanCache::PlanCache(std::size_t capacity, std::size_t shards) {
 }
 
 PlanCache::Shard& PlanCache::shardFor(const CanonicalKey& key) {
-  return *shards_[key.hash % shards_.size()];
+  return shardForHash(key.hash);
+}
+
+PlanCache::Shard& PlanCache::shardForHash(std::uint64_t hash) {
+  return *shards_[hash % shards_.size()];
+}
+
+void PlanCache::insertLocked(Shard& shard, const std::string& keyText,
+                             const PlanAnswer& answer) {
+  shard.lru.push_front(Entry{keyText, answer});
+  shard.index[keyText] = shard.lru.begin();
+  while (shard.lru.size() > perShardCapacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<PlanAnswer> PlanCache::tryGet(const CanonicalKey& key) {
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key.text);
+  if (it == shard.index.end()) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->answer;
 }
 
 PlanCache::Outcome PlanCache::getOrCompute(
-    const CanonicalKey& key, const std::function<PlanAnswer()>& solve) {
+    const CanonicalKey& key, const std::function<PlanAnswer()>& solve,
+    const Deadline& deadline) {
   Shard& shard = shardFor(key);
 
   std::shared_future<PlanAnswer> wait;
@@ -43,8 +70,25 @@ PlanCache::Outcome PlanCache::getOrCompute(
     }
   }
 
-  if (wait.valid())  // joined someone else's solve; get() rethrows failures
+  if (wait.valid()) {
+    // Joined someone else's solve. Block no longer than the deadline allows:
+    // a stuck (or dead) producer must not take its waiters down with it.
+    // Note the bound is a real duration — with an injected FakeClock the
+    // deadline's *remaining* budget is still honoured as wall time.
+    if (!deadline.isUnlimited()) {
+      const auto budget =
+          std::chrono::duration<double>(deadline.remainingSeconds());
+      if (wait.wait_for(budget) != std::future_status::ready) {
+        waitTimeouts_.fetch_add(1, std::memory_order_relaxed);
+        Outcome out;
+        out.coalesced = true;
+        out.timedOut = true;
+        return out;
+      }
+    }
+    // get() rethrows the producer's failure, exactly as before.
     return Outcome{wait.get(), /*hit=*/false, /*coalesced=*/true};
+  }
 
   // We own the solve. Run it unlocked so other shards — and other keys in
   // this shard — keep serving.
@@ -54,13 +98,13 @@ PlanCache::Outcome PlanCache::getOrCompute(
       std::lock_guard<std::mutex> lock(shard.mutex);
       shard.inflight.erase(key.text);
       // A clear() may have raced us, but no other thread can have inserted
-      // this key (they'd have coalesced); insert fresh.
-      shard.lru.push_front(Entry{key.text, answer});
-      shard.index[key.text] = shard.lru.begin();
-      while (shard.lru.size() > perShardCapacity_) {
-        shard.index.erase(shard.lru.back().key);
-        shard.lru.pop_back();
-        evictions_.fetch_add(1, std::memory_order_relaxed);
+      // this key (they'd have coalesced); insert fresh. Degraded answers are
+      // delivered to waiters but never cached: the next request retries at
+      // full quality.
+      if (answer.fullFidelity()) {
+        insertLocked(shard, key.text, answer);
+      } else {
+        uncacheable_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     mine.set_value(answer);
@@ -81,11 +125,38 @@ PlanCache::Counters PlanCache::counters() const {
   c.misses = misses_.load(std::memory_order_relaxed);
   c.coalesced = coalesced_.load(std::memory_order_relaxed);
   c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.waitTimeouts = waitTimeouts_.load(std::memory_order_relaxed);
+  c.uncacheable = uncacheable_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     c.entries += shard->lru.size();
   }
   return c;
+}
+
+std::vector<PlanCache::SnapshotEntry> PlanCache::exportEntries() const {
+  std::vector<SnapshotEntry> entries;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    // Least recently used first: replaying through insertWarm (which pushes
+    // to the MRU end) reproduces this shard's recency order exactly.
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it)
+      entries.push_back(SnapshotEntry{it->key, it->answer});
+  }
+  return entries;
+}
+
+void PlanCache::insertWarm(const std::string& keyText,
+                           const PlanAnswer& answer) {
+  Shard& shard = shardForHash(fnv1a(keyText));
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (auto it = shard.index.find(keyText); it != shard.index.end()) {
+    // Duplicate restore: refresh in place rather than double-insert.
+    it->second->answer = answer;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  insertLocked(shard, keyText, answer);
 }
 
 void PlanCache::clear() {

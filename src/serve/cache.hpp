@@ -10,6 +10,14 @@
 // A solve that throws propagates the exception to the initiating caller and
 // every coalesced waiter, and caches nothing: the next request for that key
 // retries the computation.
+//
+// Two overload-resilience rules (DESIGN.md §12) live here:
+//   * only full-fidelity answers are inserted — a deadline-degraded or
+//     truncated answer is handed to its waiters but never cached, so the
+//     next request retries at full quality;
+//   * a coalesced waiter's wait is bounded by the caller's Deadline. If the
+//     producer is slow — or dead — the waiter escapes with timedOut set
+//     instead of blocking forever, and the serving layer degrades.
 #pragma once
 
 #include <atomic>
@@ -19,12 +27,14 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "serve/answer.hpp"
 #include "serve/request.hpp"
+#include "support/deadline.hpp"
 
 namespace pushpart {
 
@@ -40,13 +50,26 @@ class PlanCache {
     PlanAnswer answer;
     bool hit = false;        ///< Served from the cache, no solve.
     bool coalesced = false;  ///< Waited on another thread's in-flight solve.
+    /// The bounded coalesced wait expired before the producer delivered;
+    /// `answer` is meaningless and the caller must degrade or retry.
+    bool timedOut = false;
   };
 
   /// Returns the cached answer for `key`, or runs `solve` to produce (and
   /// cache) it. Concurrent calls with the same key while a solve is in
-  /// flight block on that solve's result instead of recomputing.
+  /// flight block on that solve's result instead of recomputing — but never
+  /// past `deadline`: a waiter whose deadline expires returns with
+  /// Outcome.timedOut set (the producer's eventual answer still lands in the
+  /// cache if it is full fidelity). Answers for which
+  /// PlanAnswer::fullFidelity() is false are delivered but not cached.
   Outcome getOrCompute(const CanonicalKey& key,
-                       const std::function<PlanAnswer()>& solve);
+                       const std::function<PlanAnswer()>& solve,
+                       const Deadline& deadline = Deadline::unlimited());
+
+  /// Lock-and-return peek: the cached answer for `key` (refreshing its LRU
+  /// position and counting a hit), or nullopt without counting anything.
+  /// Never waits on in-flight solves.
+  std::optional<PlanAnswer> tryGet(const CanonicalKey& key);
 
   /// Monotonic counters across the cache's lifetime.
   struct Counters {
@@ -54,9 +77,28 @@ class PlanCache {
     std::uint64_t misses = 0;     ///< Lookups that ran the solve themselves.
     std::uint64_t coalesced = 0;  ///< Lookups that joined an in-flight solve.
     std::uint64_t evictions = 0;
+    std::uint64_t waitTimeouts = 0;  ///< Coalesced waits that hit their deadline.
+    std::uint64_t uncacheable = 0;   ///< Solves delivered but not cached (degraded).
     std::size_t entries = 0;      ///< Current resident answers.
   };
   Counters counters() const;
+
+  /// One resident (key, answer) pair, as exported for snapshots.
+  struct SnapshotEntry {
+    std::string key;
+    PlanAnswer answer;
+  };
+
+  /// Every resident entry in a deterministic order: shard by shard, least
+  /// recently used first (so replaying the list through insertWarm rebuilds
+  /// identical per-shard recency). In-flight solves are not included.
+  std::vector<SnapshotEntry> exportEntries() const;
+
+  /// Inserts a restored entry at the most-recent end of its shard, evicting
+  /// as needed. Counts neither hit nor miss (restores are not traffic);
+  /// evictions it causes are counted. `keyText` must be a canonical key's
+  /// text (its FNV-1a hash selects the shard).
+  void insertWarm(const std::string& keyText, const PlanAnswer& answer);
 
   /// Drops every cached entry (in-flight solves are unaffected; they insert
   /// into the emptied cache when they land). Counters keep accumulating.
@@ -77,6 +119,10 @@ class PlanCache {
   };
 
   Shard& shardFor(const CanonicalKey& key);
+  Shard& shardForHash(std::uint64_t hash);
+  /// Inserts into a locked shard's LRU front and evicts past capacity.
+  void insertLocked(Shard& shard, const std::string& keyText,
+                    const PlanAnswer& answer);
 
   std::size_t perShardCapacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -85,6 +131,8 @@ class PlanCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> waitTimeouts_{0};
+  std::atomic<std::uint64_t> uncacheable_{0};
 };
 
 }  // namespace pushpart

@@ -10,9 +10,13 @@ namespace pushpart {
 
 Oracle::Oracle(OracleOptions options)
     : options_(std::move(options)),
-      cache_(options_.cacheCapacity, options_.cacheShards) {}
+      cache_(options_.cacheCapacity, options_.cacheShards),
+      admission_(options_.admission),
+      breaker_(options_.breaker) {}
 
-PlanAnswer Oracle::solveCanonical(const CanonicalKey& key) const {
+PlanAnswer Oracle::solveCanonical(const CanonicalKey& key,
+                                  const CancelToken& cancel,
+                                  bool consultBreaker) const {
   const PlanRequest& req = key.request;
   Machine machine = options_.machine;
   machine.ratio = req.ratio;
@@ -26,76 +30,201 @@ PlanAnswer Oracle::solveCanonical(const CanonicalKey& key) const {
   answer.model = best.model;
   answer.voc = best.voc;
   answer.tier = req.tier;
+  answer.servedTier = PlanTier::kFast;
 
   if (req.tier == PlanTier::kSearch) {
-    BatchOptions batch;
-    batch.n = req.n;
-    batch.ratio = req.ratio;
-    batch.runs = req.searchRuns;
-    batch.threads = options_.searchThreads;
-    batch.seed = req.searchSeed;
+    if (consultBreaker && !breaker_.allowRequest()) {
+      // Ladder rung 3: the breaker is open, serve the closed-form ranking
+      // without attempting (or accounting) a search. No recordSuccess /
+      // recordFailure here — the protocol only applies after a true
+      // allowRequest().
+      answer.degrade = DegradeReason::kBreakerOpen;
+    } else if (cancel.cancelled()) {
+      // The budget is gone before the batch could start: same rung, reached
+      // via the deadline. This still counts against the breaker — a run of
+      // these means tier B is hopeless at the current load.
+      answer.degrade = DegradeReason::kNoTimeForSearch;
+      if (consultBreaker) breaker_.recordFailure();
+    } else {
+      BatchOptions batch;
+      batch.n = req.n;
+      batch.ratio = req.ratio;
+      batch.runs = req.searchRuns;
+      batch.threads = options_.searchThreads;
+      batch.seed = req.searchSeed;
+      batch.cancel = cancel;
+      batch.dfa.cancelCheckEvery = options_.cancelCheckEvery;
 
-    double bestExec = 0.0;
-    std::int64_t bestVoc = 0;
-    bool any = false;
-    runBatch(batch, [&](const BatchRun& run) {
-      const ModelResult m = evalModel(req.algo, run.result.final, machine,
-                                      req.topology, req.star);
-      if (!any || m.execSeconds < bestExec) {
-        any = true;
-        bestExec = m.execSeconds;
-        bestVoc = run.result.final.volumeOfCommunication();
+      double bestExec = 0.0;
+      std::int64_t bestVoc = 0;
+      bool any = false;
+      int delivered = 0;
+      const BatchSummary summary = runBatch(batch, [&](const BatchRun& run) {
+        ++delivered;
+        if (options_.onSearchRun) options_.onSearchRun(key, delivered);
+        // A cancelled walk's partition is intact (pushes are transactional)
+        // but it never reached an accept state; it is not search evidence.
+        if (run.result.stop == DfaStop::kCancelled) return;
+        const ModelResult m = evalModel(req.algo, run.result.final, machine,
+                                        req.topology, req.star);
+        if (!any || m.execSeconds < bestExec) {
+          any = true;
+          bestExec = m.execSeconds;
+          bestVoc = run.result.final.volumeOfCommunication();
+        }
+        ++answer.searchCompleted;
+      });
+      answer.servedTier = PlanTier::kSearch;
+      answer.searchRuns = req.searchRuns;
+      answer.searchBestVoc = bestVoc;
+      answer.searchBestExecSeconds = bestExec;
+      // The search "confirms" the closed-form ranking when no condensed walk
+      // modeled faster than the recommended candidate (the paper's §VII
+      // outcome). An empty batch confirms nothing.
+      answer.searchConfirmedCandidate =
+          any && bestExec >= answer.model.execSeconds;
+      if (summary.truncated()) {
+        // Ladder rung 2: the deadline cancelled the batch mid-flight;
+        // completed walks remain best-so-far evidence.
+        answer.truncated = true;
+        answer.degrade = DegradeReason::kTruncatedSearch;
       }
-      ++answer.searchCompleted;
-    });
-    answer.searchRuns = req.searchRuns;
-    answer.searchBestVoc = bestVoc;
-    answer.searchBestExecSeconds = bestExec;
-    // The search "confirms" the closed-form ranking when no condensed walk
-    // modeled faster than the recommended candidate (the paper's §VII
-    // outcome). An empty batch confirms nothing.
-    answer.searchConfirmedCandidate =
-        any && bestExec >= answer.model.execSeconds;
+      if (consultBreaker) {
+        if (summary.truncated() || cancel.cancelled())
+          breaker_.recordFailure();
+        else
+          breaker_.recordSuccess();
+      }
+    }
   }
 
   answer.solveSeconds = timer.seconds();
   return answer;
 }
 
-PlanResponse Oracle::plan(const PlanRequest& req) {
-  Stopwatch timer;
-  const CanonicalKey key = canonicalize(req);
-
-  const PlanCache::Outcome outcome =
-      cache_.getOrCompute(key, [this, &key]() {
-        if (options_.onSolveStart) options_.onSolveStart(key);
-        PlanAnswer answer = solveCanonical(key);
-        (answer.tier == PlanTier::kSearch ? tierBSolves_ : tierASolves_)
-            .record(answer.solveSeconds);
-        return answer;
-      });
-
+PlanResponse Oracle::finishResponse(const CanonicalKey& key, PlanAnswer answer,
+                                    bool hit, bool coalesced,
+                                    const PlanCallOptions& call,
+                                    double latencySeconds) {
   PlanResponse response;
-  response.answer = outcome.answer;
-  response.cacheHit = outcome.hit;
-  response.coalesced = outcome.coalesced;
-  response.latencySeconds = timer.seconds();
+  response.cacheHit = hit;
+  response.coalesced = coalesced;
+  response.latencySeconds = latencySeconds;
   response.key = key.text;
-  if (outcome.hit) hitLatency_.record(response.latencySeconds);
+  if (call.deadline.expired()) {
+    response.deadlineExceeded = true;
+    // The caller must never see a post-deadline answer without a mark. The
+    // mark goes on this response's copy only — the cached answer (if any)
+    // stays pristine for on-time callers.
+    if (answer.fullFidelity()) answer.degrade = DegradeReason::kLate;
+  }
+  switch (answer.degrade) {
+    case DegradeReason::kNone:
+      break;
+    case DegradeReason::kTruncatedSearch:
+      truncatedSearch_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DegradeReason::kNoTimeForSearch:
+      noTimeForSearch_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DegradeReason::kBreakerOpen:
+      breakerOpenServes_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DegradeReason::kLate:
+      late_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (!answer.fullFidelity()) degraded_.fetch_add(1, std::memory_order_relaxed);
+  response.answer = std::move(answer);
+  if (hit) hitLatency_.record(latencySeconds);
   return response;
 }
 
+PlanResponse Oracle::plan(const PlanRequest& req,
+                          const PlanCallOptions& call) {
+  Stopwatch timer;
+  const CanonicalKey key = canonicalize(req);
+
+  // Cache hits are served unconditionally: they cost microseconds and are
+  // exactly what admission control is trying to protect.
+  if (std::optional<PlanAnswer> cached = cache_.tryGet(key))
+    return finishResponse(key, *std::move(cached), /*hit=*/true,
+                          /*coalesced=*/false, call, timer.seconds());
+
+  AdmissionController::Permit permit(admission_, call.deadline);
+  if (!permit.admitted()) {
+    // Ladder rung 4: load-shed. No answer; the caller retries or gives up.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    PlanResponse response;
+    response.shed = true;
+    response.shedReason = permit.outcome() == AdmissionOutcome::kQueueFull
+                              ? ShedReason::kQueueFull
+                              : ShedReason::kAdmissionTimeout;
+    response.deadlineExceeded = call.deadline.expired();
+    response.latencySeconds = timer.seconds();
+    response.key = key.text;
+    return response;
+  }
+
+  const CancelToken solveCancel = call.cancel.withDeadline(call.deadline);
+  const PlanCache::Outcome outcome = cache_.getOrCompute(
+      key,
+      [this, &key, &solveCancel]() {
+        if (options_.onSolveStart) options_.onSolveStart(key);
+        PlanAnswer answer =
+            solveCanonical(key, solveCancel, /*consultBreaker=*/true);
+        (answer.tier == PlanTier::kSearch ? tierBSolves_ : tierASolves_)
+            .record(answer.solveSeconds);
+        return answer;
+      },
+      call.deadline);
+
+  if (outcome.timedOut) {
+    // The coalesced wait expired before the producer delivered. Degrade to a
+    // fresh closed-form answer (microseconds) rather than return nothing:
+    // for a tier-A request that IS the full answer; for tier B it lands as
+    // kNoTimeForSearch. The breaker is not consulted — this caller never
+    // attempted a search.
+    CancelToken spent;
+    spent.requestCancel();
+    PlanAnswer answer = solveCanonical(key, spent, /*consultBreaker=*/false);
+    return finishResponse(key, std::move(answer), /*hit=*/false,
+                          /*coalesced=*/true, call, timer.seconds());
+  }
+
+  return finishResponse(key, outcome.answer, outcome.hit, outcome.coalesced,
+                        call, timer.seconds());
+}
+
 PlanAnswer Oracle::solveUncached(const PlanRequest& req) const {
-  return solveCanonical(canonicalize(req));
+  return solveCanonical(canonicalize(req), CancelToken(),
+                        /*consultBreaker=*/false);
 }
 
 OracleStats Oracle::stats() const {
   OracleStats s;
   s.cache = cache_.counters();
+  s.admission = admission_.counters();
+  s.breaker = breaker_.counters();
+  s.breakerState = breaker_.state();
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.truncatedSearch = truncatedSearch_.load(std::memory_order_relaxed);
+  s.noTimeForSearch = noTimeForSearch_.load(std::memory_order_relaxed);
+  s.breakerOpenServes = breakerOpenServes_.load(std::memory_order_relaxed);
+  s.late = late_.load(std::memory_order_relaxed);
   s.hitLatency = hitLatency_.snapshot();
   s.tierASolves = tierASolves_.snapshot();
   s.tierBSolves = tierBSolves_.snapshot();
   return s;
+}
+
+std::size_t Oracle::saveSnapshot(const std::string& path) const {
+  return savePlanCacheSnapshot(cache_, path);
+}
+
+SnapshotLoadReport Oracle::loadSnapshot(const std::string& path) {
+  return loadPlanCacheSnapshot(cache_, path);
 }
 
 }  // namespace pushpart

@@ -2,9 +2,10 @@
 // stack (paper §IX candidates + §V–§VII DFA search).
 //
 // One Oracle instance owns a machine model, a sharded LRU answer cache with
-// in-flight coalescing, and per-tier latency histograms. plan() is the whole
-// API: canonicalize the request, serve from cache when possible, otherwise
-// solve on the requested tier —
+// in-flight coalescing, admission control, a tier-B circuit breaker, and
+// per-tier latency histograms. plan() is the whole API: canonicalize the
+// request, serve from cache when possible, otherwise solve on the requested
+// tier —
 //
 //   tier A (fast):   rank the six canonical candidates by modeled time
 //                    (model/optimal.hpp) and recommend the winner;
@@ -13,18 +14,25 @@
 //                    candidate ranking, mirroring how the paper's §VII
 //                    experiments validate §IX's shapes.
 //
-// Answers are deterministic for a canonical key (tier B runs its batch
-// single-threaded on a fixed seed by default), so a cache hit is
-// bit-identical to the cold computation it replays.
+// Under load the oracle degrades instead of queueing unboundedly, walking
+// the ladder of DESIGN.md §12: tier B within the deadline, else tier B
+// truncated (best-so-far search evidence), else tier A closed-form only,
+// else load-shed rejection. Every degraded answer says so (PlanAnswer's
+// servedTier/degrade/truncated) and is never cached, so full-fidelity
+// answers stay deterministic: a cache hit is bit-identical to the cold
+// computation it replays.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
 #include "model/machine.hpp"
+#include "serve/admission.hpp"
 #include "serve/answer.hpp"
 #include "serve/cache.hpp"
 #include "serve/request.hpp"
+#include "serve/snapshot.hpp"
+#include "support/deadline.hpp"
 #include "support/histogram.hpp"
 
 namespace pushpart {
@@ -39,24 +47,84 @@ struct OracleOptions {
   /// avoids thread explosions when the oracle itself is called from many
   /// threads; raise it only for single-client, huge-budget use.
   int searchThreads = 1;
+  /// Admission control in front of the solver. Disabled by default
+  /// (maxConcurrency == 0); cache hits are never subject to admission.
+  AdmissionOptions admission;
+  /// Tier-B circuit breaker: trips open after `failureThreshold` consecutive
+  /// deadline busts, short-circuiting the search tier to closed-form
+  /// answers until a half-open probe succeeds.
+  BreakerOptions breaker;
+  /// How often a tier-B walk polls its cancel token, in applied pushes.
+  std::int64_t cancelCheckEvery = 1024;
   /// Observability hook: invoked at the start of every underlying (cold)
   /// solve with the canonical key. Runs on the solving thread, outside any
   /// cache lock. Also what makes coalescing deterministically testable.
   std::function<void(const CanonicalKey&)> onSolveStart;
+  /// Observability hook: invoked after each delivered tier-B search run with
+  /// the number of runs delivered so far. Runs on the solving thread. What
+  /// makes mid-batch cancellation (the truncated rung) deterministically
+  /// testable.
+  std::function<void(const CanonicalKey&, int)> onSearchRun;
 };
+
+/// Per-call serving options — the request identifies *what* to solve, this
+/// says *how long* the caller is willing to wait. Deliberately not part of
+/// the canonical key: a deadline changes the serving path, never the
+/// full-fidelity answer.
+struct PlanCallOptions {
+  /// Time budget for this call. Expired mid-solve, it cancels the tier-B
+  /// batch cooperatively; expired while coalesced, it abandons the wait.
+  Deadline deadline;
+  /// Extra cooperative cancel (e.g. client disconnect). Combined with the
+  /// deadline: the solve stops when either fires.
+  CancelToken cancel;
+};
+
+/// Why a request was load-shed instead of answered.
+enum class ShedReason {
+  kNone = 0,
+  kQueueFull,         ///< Admission queue at capacity.
+  kAdmissionTimeout,  ///< Deadline expired waiting for an admission slot.
+};
+
+constexpr const char* shedReasonName(ShedReason r) {
+  switch (r) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kQueueFull: return "queue-full";
+    case ShedReason::kAdmissionTimeout: return "admission-timeout";
+  }
+  return "?";
+}
 
 /// What one plan() call experienced (the answer plus serving metadata).
 struct PlanResponse {
   PlanAnswer answer;
   bool cacheHit = false;
   bool coalesced = false;
+  /// Load-shed: no answer was produced (answer holds defaults). The bottom
+  /// rung of the degradation ladder.
+  bool shed = false;
+  ShedReason shedReason = ShedReason::kNone;
+  /// The call finished after its deadline. Always paired with a degrade
+  /// mark on the answer (kLate when the answer is otherwise full fidelity).
+  bool deadlineExceeded = false;
   double latencySeconds = 0.0;  ///< End-to-end, as seen by this caller.
   std::string key;              ///< Canonical key text.
 };
 
-/// Cache counters plus per-tier latency distributions.
+/// Cache counters plus per-tier latency distributions and the overload
+/// ledger (degradations by reason, sheds, breaker activity).
 struct OracleStats {
   PlanCache::Counters cache;
+  AdmissionController::Counters admission;
+  CircuitBreaker::Counters breaker;
+  BreakerState breakerState = BreakerState::kClosed;
+  std::uint64_t shed = 0;             ///< Load-shed responses.
+  std::uint64_t degraded = 0;         ///< Answers served below full fidelity.
+  std::uint64_t truncatedSearch = 0;  ///< ... of which tier B was cut short.
+  std::uint64_t noTimeForSearch = 0;  ///< ... of which tier B never started.
+  std::uint64_t breakerOpenServes = 0;  ///< ... short-circuited by the breaker.
+  std::uint64_t late = 0;             ///< Full answers marked late.
   LatencyHistogram::Snapshot hitLatency;    ///< plan() calls served by cache.
   LatencyHistogram::Snapshot tierASolves;   ///< Cold tier-A solve times.
   LatencyHistogram::Snapshot tierBSolves;   ///< Cold tier-B solve times.
@@ -72,25 +140,55 @@ class Oracle {
   /// Answers `req`, consulting the cache first. Thread-safe. Throws
   /// std::invalid_argument for malformed requests and std::runtime_error
   /// when no candidate is feasible (degenerate n); failures are never
-  /// cached.
-  PlanResponse plan(const PlanRequest& req);
+  /// cached. Load shedding and degradation are reported in the response,
+  /// never thrown.
+  PlanResponse plan(const PlanRequest& req) { return plan(req, {}); }
+  PlanResponse plan(const PlanRequest& req, const PlanCallOptions& call);
 
-  /// Computes `req`'s answer with no cache interaction — the cold path,
-  /// exposed for verification and benchmarking.
+  /// Computes `req`'s answer with no cache, admission or breaker
+  /// interaction — the cold path, exposed for verification and
+  /// benchmarking.
   PlanAnswer solveUncached(const PlanRequest& req) const;
 
   OracleStats stats() const;
 
+  /// Persists the answer cache to `path` (atomic rename; see
+  /// serve/snapshot.hpp). Returns entries written.
+  std::size_t saveSnapshot(const std::string& path) const;
+
+  /// Warms the answer cache from `path`. Corrupt entries are skipped;
+  /// a version mismatch throws and loads nothing.
+  SnapshotLoadReport loadSnapshot(const std::string& path);
+
   const OracleOptions& options() const { return options_; }
 
  private:
-  PlanAnswer solveCanonical(const CanonicalKey& key) const;
+  /// The cold solve. `consultBreaker` is false on the solveUncached path.
+  /// Degradation (breaker open, no time, truncation) is recorded in the
+  /// returned answer; the ladder's accounting happens in plan().
+  PlanAnswer solveCanonical(const CanonicalKey& key, const CancelToken& cancel,
+                            bool consultBreaker) const;
+
+  /// Builds the response for a non-shed answer: latency, lateness marking,
+  /// degradation counters.
+  PlanResponse finishResponse(const CanonicalKey& key, PlanAnswer answer,
+                              bool hit, bool coalesced,
+                              const PlanCallOptions& call,
+                              double latencySeconds);
 
   OracleOptions options_;
   PlanCache cache_;
+  mutable AdmissionController admission_;
+  mutable CircuitBreaker breaker_;
   LatencyHistogram hitLatency_;
   LatencyHistogram tierASolves_;
   LatencyHistogram tierBSolves_;
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> truncatedSearch_{0};
+  std::atomic<std::uint64_t> noTimeForSearch_{0};
+  std::atomic<std::uint64_t> breakerOpenServes_{0};
+  std::atomic<std::uint64_t> late_{0};
 };
 
 }  // namespace pushpart

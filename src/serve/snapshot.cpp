@@ -1,0 +1,170 @@
+#include "serve/snapshot.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "shapes/candidates.hpp"
+
+namespace pushpart {
+
+namespace {
+
+constexpr const char* kMagic = "pushpart-plancache v1";
+
+std::string formatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// The answer's 16 numeric fields, space-separated, in a fixed order the
+/// loader mirrors. Booleans and enums travel as integers.
+std::string payloadFor(const PlanCache::SnapshotEntry& entry) {
+  const PlanAnswer& a = entry.answer;
+  std::ostringstream os;
+  os << entry.key << ' ' << static_cast<int>(a.shape) << ' '
+     << formatDouble(a.model.commSeconds) << ' '
+     << formatDouble(a.model.overlapSeconds) << ' '
+     << formatDouble(a.model.compSeconds) << ' '
+     << formatDouble(a.model.execSeconds) << ' ' << a.voc << ' '
+     << static_cast<int>(a.tier) << ' ' << static_cast<int>(a.servedTier)
+     << ' ' << static_cast<int>(a.degrade) << ' ' << (a.truncated ? 1 : 0)
+     << ' ' << formatDouble(a.solveSeconds) << ' ' << a.searchRuns << ' '
+     << a.searchCompleted << ' ' << a.searchBestVoc << ' '
+     << formatDouble(a.searchBestExecSeconds) << ' '
+     << (a.searchConfirmedCandidate ? 1 : 0);
+  return os.str();
+}
+
+std::string checksumHex(const std::string& payload) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a(payload)));
+  return buf;
+}
+
+/// Parses one payload back into an entry. Returns false on any field-count,
+/// numeric-format or enum-range problem — the caller skips the entry.
+bool parsePayload(const std::string& payload,
+                  PlanCache::SnapshotEntry& entry) {
+  std::istringstream is(payload);
+  int shape = -1, tier = -1, servedTier = -1, degrade = -1, truncated = -1,
+      confirmed = -1;
+  PlanAnswer a;
+  if (!(is >> entry.key >> shape >> a.model.commSeconds >>
+        a.model.overlapSeconds >> a.model.compSeconds >>
+        a.model.execSeconds >> a.voc >> tier >> servedTier >> degrade >>
+        truncated >> a.solveSeconds >> a.searchRuns >> a.searchCompleted >>
+        a.searchBestVoc >> a.searchBestExecSeconds >> confirmed))
+    return false;
+  std::string trailing;
+  if (is >> trailing) return false;
+  if (shape < 0 || shape >= kNumCandidates) return false;
+  if (tier < 0 || tier > 1 || servedTier < 0 || servedTier > 1) return false;
+  if (degrade < 0 ||
+      degrade > static_cast<int>(DegradeReason::kLate))
+    return false;
+  if (truncated < 0 || truncated > 1 || confirmed < 0 || confirmed > 1)
+    return false;
+  a.shape = static_cast<CandidateShape>(shape);
+  a.tier = static_cast<PlanTier>(tier);
+  a.servedTier = static_cast<PlanTier>(servedTier);
+  a.degrade = static_cast<DegradeReason>(degrade);
+  a.truncated = truncated == 1;
+  a.searchConfirmedCandidate = confirmed == 1;
+  entry.answer = a;
+  return true;
+}
+
+}  // namespace
+
+std::size_t savePlanCacheSnapshot(const PlanCache& cache, std::ostream& os) {
+  const auto entries = cache.exportEntries();
+  os << kMagic << '\n';
+  os << "entries " << entries.size() << '\n';
+  for (const auto& entry : entries) {
+    const std::string payload = payloadFor(entry);
+    os << "e " << checksumHex(payload) << ' ' << payload << '\n';
+  }
+  if (!os)
+    throw std::runtime_error("savePlanCacheSnapshot: stream write failed");
+  return entries.size();
+}
+
+std::size_t savePlanCacheSnapshot(const PlanCache& cache,
+                                  const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::size_t written = 0;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("savePlanCacheSnapshot: cannot open " + tmp);
+    written = savePlanCacheSnapshot(cache, out);
+    out.flush();
+    if (!out)
+      throw std::runtime_error("savePlanCacheSnapshot: write to " + tmp +
+                               " failed");
+  }
+  // Atomic publish: readers see either the old snapshot or the new one,
+  // never a half-written file.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("savePlanCacheSnapshot: cannot rename " + tmp +
+                             " to " + path);
+  }
+  return written;
+}
+
+SnapshotLoadReport loadPlanCacheSnapshot(PlanCache& cache, std::istream& is) {
+  std::string magic;
+  std::getline(is, magic);
+  if (!magic.empty() && magic.back() == '\r') magic.pop_back();
+  if (magic != kMagic)
+    throw std::runtime_error(
+        "loadPlanCacheSnapshot: unsupported snapshot version '" + magic +
+        "' (expected '" + std::string(kMagic) + "')");
+
+  SnapshotLoadReport report;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.rfind("entries ", 0) == 0) continue;
+    if (line.rfind("e ", 0) != 0) {
+      ++report.skipped;
+      continue;
+    }
+    // "e <16-hex> <payload>": verify the checksum before trusting a byte of
+    // the payload, then parse strictly.
+    if (line.size() < 2 + 16 + 2 || line[18] != ' ') {
+      ++report.skipped;
+      continue;
+    }
+    const std::string checksum = line.substr(2, 16);
+    const std::string payload = line.substr(19);
+    if (checksum != checksumHex(payload)) {
+      ++report.skipped;
+      continue;
+    }
+    PlanCache::SnapshotEntry entry;
+    if (!parsePayload(payload, entry)) {
+      ++report.skipped;
+      continue;
+    }
+    cache.insertWarm(entry.key, entry.answer);
+    ++report.loaded;
+  }
+  return report;
+}
+
+SnapshotLoadReport loadPlanCacheSnapshot(PlanCache& cache,
+                                         const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("loadPlanCacheSnapshot: cannot open " + path);
+  return loadPlanCacheSnapshot(cache, in);
+}
+
+}  // namespace pushpart

@@ -1,0 +1,52 @@
+// Warm-restart persistence for the PlanCache.
+//
+// A restarted oracle starts cold: every hot key pays a full solve again.
+// Snapshots fix that with a versioned, per-entry-checksummed text file:
+//
+//   pushpart-plancache v1
+//   entries <count>
+//   e <fnv1a-16-hex> <key-text> <16 numeric answer fields>
+//   ...
+//
+// Writing is crash-safe: the file is written to "<path>.tmp" and atomically
+// renamed over the destination, so a crash mid-write leaves the previous
+// snapshot intact. Reading is corruption-tolerant per entry: a line whose
+// checksum, field count, or field ranges don't verify is skipped (counted),
+// and every other entry still loads — a truncated tail or a flipped byte
+// costs one entry, not the snapshot. A wrong magic/version line refuses the
+// whole file with std::runtime_error: silently guessing at a future format
+// would be worse than starting cold.
+//
+// Doubles are printed with %.17g, so save -> load -> save is byte-identical
+// and a restored answer is bit-for-bit the one that was cached.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "serve/cache.hpp"
+
+namespace pushpart {
+
+struct SnapshotLoadReport {
+  std::size_t loaded = 0;   ///< Entries restored into the cache.
+  std::size_t skipped = 0;  ///< Corrupt/unparseable entries left behind.
+};
+
+/// Serializes every resident cache entry. Stream variants are exposed for
+/// tests; the path variant writes <path>.tmp then renames atomically.
+/// Returns the number of entries written. Throws std::runtime_error on I/O
+/// failure (the destination is untouched in that case).
+std::size_t savePlanCacheSnapshot(const PlanCache& cache, std::ostream& os);
+std::size_t savePlanCacheSnapshot(const PlanCache& cache,
+                                  const std::string& path);
+
+/// Restores entries via PlanCache::insertWarm. Corrupt entries are skipped
+/// and counted; an unreadable file or a magic/version mismatch throws
+/// std::runtime_error and restores nothing.
+SnapshotLoadReport loadPlanCacheSnapshot(PlanCache& cache, std::istream& is);
+SnapshotLoadReport loadPlanCacheSnapshot(PlanCache& cache,
+                                         const std::string& path);
+
+}  // namespace pushpart

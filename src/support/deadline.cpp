@@ -1,0 +1,44 @@
+#include "support/deadline.hpp"
+
+#include <chrono>
+
+namespace pushpart {
+
+namespace {
+
+/// Real monotonic clock: steady_clock relative to the first use.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  double nowSeconds() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         origin_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace
+
+const Clock& Clock::steady() {
+  static const SteadyClock instance;
+  return instance;
+}
+
+Deadline Deadline::after(double seconds, const Clock& clock) {
+  Deadline d;
+  d.clock_ = &clock;
+  d.expiresAt_ = clock.nowSeconds() + (seconds > 0.0 ? seconds : 0.0);
+  return d;
+}
+
+double Deadline::remainingSeconds() const {
+  if (clock_ == nullptr) return std::numeric_limits<double>::infinity();
+  const double left = expiresAt_ - clock_->nowSeconds();
+  return left > 0.0 ? left : 0.0;
+}
+
+}  // namespace pushpart

@@ -1,0 +1,129 @@
+// Time budgets and cooperative cancellation for the serving stack.
+//
+// The oracle's overload story (DESIGN.md §12) needs three small pieces:
+//
+//   Clock       an injectable monotonic time source. Production code uses the
+//               steady-clock singleton; tests drive a FakeClock so deadline
+//               behaviour is deterministic instead of wall-clock flaky.
+//   Deadline    an absolute instant on some Clock. Cheap to copy and to poll;
+//               a default-constructed Deadline is unlimited (never expires).
+//   CancelToken a shared cancellation flag, optionally tied to a Deadline.
+//               Copies share the flag, so a caller keeps one copy and threads
+//               another through BatchOptions/DfaOptions; the solver polls
+//               cancelled() at safe points and stops with best-so-far state.
+//
+// Cancellation here is strictly cooperative: nothing is interrupted, no
+// exception is thrown at the cancellee — code that observes cancelled()
+// finishes its current indivisible step and returns what it has, flagged as
+// truncated. That is what lets the oracle promise "never a torn Partition".
+#pragma once
+
+#include <atomic>
+#include <limits>
+#include <memory>
+
+namespace pushpart {
+
+/// Monotonic time source, in seconds from an arbitrary origin.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double nowSeconds() const = 0;
+
+  /// The process-wide steady-clock instance (thread-safe, never destroyed
+  /// before any caller needs it).
+  static const Clock& steady();
+};
+
+/// Manually-advanced clock for tests. advance()/set() are thread-safe so a
+/// test can move time forward while another thread polls a deadline.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(double startSeconds = 0.0) : now_(startSeconds) {}
+
+  double nowSeconds() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void set(double seconds) { now_.store(seconds, std::memory_order_release); }
+
+  void advance(double seconds) {
+    double cur = now_.load(std::memory_order_relaxed);
+    while (!now_.compare_exchange_weak(cur, cur + seconds,
+                                       std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<double> now_;
+};
+
+/// An absolute expiry instant on a Clock. Default-constructed deadlines are
+/// unlimited. The clock must outlive every Deadline built on it (trivially
+/// true for Clock::steady(); tests keep their FakeClock alive).
+class Deadline {
+ public:
+  Deadline() = default;  ///< Unlimited: never expires.
+
+  /// Expires `seconds` from now on `clock`. Non-positive budgets produce an
+  /// already-expired deadline (remaining() == 0), not an unlimited one.
+  static Deadline after(double seconds, const Clock& clock = Clock::steady());
+
+  /// Explicitly unlimited (same as default construction; reads better at
+  /// call sites).
+  static Deadline unlimited() { return Deadline(); }
+
+  bool isUnlimited() const { return clock_ == nullptr; }
+
+  /// True once the clock has reached the expiry instant. Unlimited deadlines
+  /// never expire.
+  bool expired() const {
+    return clock_ != nullptr && clock_->nowSeconds() >= expiresAt_;
+  }
+
+  /// Seconds until expiry: clamped at 0 once expired, +infinity when
+  /// unlimited.
+  double remainingSeconds() const;
+
+ private:
+  const Clock* clock_ = nullptr;  ///< nullptr = unlimited.
+  double expiresAt_ = 0.0;
+};
+
+/// Shared cooperative-cancellation flag, optionally deadline-backed.
+/// cancelled() is true after any holder calls requestCancel() or once the
+/// attached deadline expires. Copies share one flag; a default-constructed
+/// token is live (cancellable) but inert until someone cancels it.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  explicit CancelToken(Deadline deadline)
+      : flag_(std::make_shared<std::atomic<bool>>(false)),
+        deadline_(deadline) {}
+
+  /// Requests cooperative cancellation; visible to every copy of the token.
+  void requestCancel() { flag_->store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return flag_->load(std::memory_order_acquire) || deadline_.expired();
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+  /// A token sharing this token's flag but bound to `deadline` (replacing
+  /// any deadline this token carried). How the oracle merges a caller's
+  /// cancel flag with the per-call time budget before threading one token
+  /// into the solver.
+  CancelToken withDeadline(const Deadline& deadline) const {
+    CancelToken merged = *this;
+    merged.deadline_ = deadline;
+    return merged;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+  Deadline deadline_;
+};
+
+}  // namespace pushpart

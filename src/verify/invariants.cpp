@@ -9,6 +9,7 @@
 #include "shapes/archetype.hpp"
 #include "shapes/transform.hpp"
 #include "support/check.hpp"
+#include "support/deadline.hpp"
 
 namespace pushpart {
 
@@ -244,6 +245,72 @@ CheckReport checkOracleTierAgreement(const Oracle& oracle,
                    std::to_string(b.searchBestExecSeconds) +
                    "s vs candidate " + std::to_string(b.model.execSeconds) +
                    "s");
+  return report;
+}
+
+CheckReport checkServeDegradation(Oracle& oracle, const PlanRequest& request) {
+  CheckReport report;
+  PlanRequest search = request;
+  search.tier = PlanTier::kSearch;
+  PlanRequest fast = request;
+  fast.tier = PlanTier::kFast;
+
+  // The unhurried closed-form answer every degraded rung must still carry.
+  const PlanAnswer reference = oracle.solveUncached(fast);
+
+  // Drive the "no time for search" rung with an already-spent deadline.
+  FakeClock clock;
+  PlanCallOptions spent;
+  spent.deadline = Deadline::after(0.0, clock);
+  const PlanResponse hurried = oracle.plan(search, spent);
+  if (hurried.shed) {
+    report.add("serve.degradation",
+               "request shed although admission control is disabled");
+    return report;
+  }
+  const PlanAnswer& d = hurried.answer;
+  if (d.fullFidelity())
+    report.add("serve.degradation",
+               "expired deadline produced an unmarked full-fidelity answer");
+  if (static_cast<int>(d.servedTier) > static_cast<int>(d.tier))
+    report.add("serve.degradation",
+               std::string("served tier ") + planTierName(d.servedTier) +
+                   " exceeds requested tier " + planTierName(d.tier));
+  // A degraded answer is still a valid recommendation: the closed-form
+  // candidate, not a torn or empty placeholder.
+  if (d.shape != reference.shape)
+    report.add("serve.degradation",
+               std::string("degraded answer recommends ") +
+                   candidateName(d.shape) + " but the closed form picks " +
+                   candidateName(reference.shape));
+  if (d.voc != reference.voc)
+    report.add("serve.degradation",
+               "degraded answer VoC " + std::to_string(d.voc) +
+                   " differs from closed-form VoC " +
+                   std::to_string(reference.voc));
+  if (!(d.model == reference.model))
+    report.add("serve.degradation",
+               "degraded answer's model timings differ from the closed form");
+  if (d.truncated && d.searchCompleted >= d.searchRuns)
+    report.add("serve.degradation",
+               "truncated answer claims a complete search (" +
+                   std::to_string(d.searchCompleted) + "/" +
+                   std::to_string(d.searchRuns) + " walks)");
+
+  // Degraded answers are never cached: the unhurried retry re-solves at
+  // full fidelity instead of inheriting the hurried rung's answer.
+  const PlanResponse retry = oracle.plan(search);
+  if (retry.cacheHit)
+    report.add("serve.degradation",
+               "degraded answer was cached and served to an unhurried caller");
+  if (!retry.answer.fullFidelity())
+    report.add("serve.degradation",
+               "unhurried retry is still degraded (" +
+                   std::string(degradeReasonName(retry.answer.degrade)) + ")");
+  if (retry.answer.servedTier != PlanTier::kSearch)
+    report.add("serve.degradation",
+               std::string("unhurried tier-B retry served tier ") +
+                   planTierName(retry.answer.servedTier));
   return report;
 }
 

@@ -90,6 +90,18 @@ CheckReport checkCondensedState(const Partition& condensed, const Ratio& ratio);
 CheckReport checkOracleTierAgreement(const Oracle& oracle,
                                      const PlanRequest& request);
 
+/// Degradation-ladder contract for the serving layer (DESIGN.md §12),
+/// driven through a deliberately spent deadline: a degraded answer must be
+/// marked (never silent), must still carry the valid closed-form candidate
+/// for the request — same shape, model and VoC as an unhurried tier-A
+/// solve — must record a served tier no higher than the requested tier, and
+/// must never be cached (the unhurried retry gets full fidelity). Pass an
+/// oracle whose circuit breaker is disabled: the checker probes the
+/// deadline rungs specifically, and repeated probe failures would otherwise
+/// trip the breaker and change which rung answers
+/// ("serve.degradation").
+CheckReport checkServeDegradation(Oracle& oracle, const PlanRequest& request);
+
 /// Full replay of one checked-in counterexample file: load, counters,
 /// serialize round-trip, condensed-state dominance (ratio inferred from the
 /// grid). The regression gate for tests/corpus.

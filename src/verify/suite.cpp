@@ -148,6 +148,28 @@ VerifySuiteReport runVerifySuite(const VerifySuiteOptions& options) {
         }));
   }
 
+  // Degradation-ladder contract (DESIGN.md §12). The checker drives the
+  // deadline rungs itself, so each case gets a fresh oracle with the
+  // breaker disabled — deliberate busts would otherwise trip it and change
+  // which rung answers — and a private cache (the checker asserts that the
+  // unhurried retry re-solves cold).
+  {
+    prop.iterations = 4 * scale;
+    prop.maxN = 20;
+    report.properties.push_back(runProperty(
+        "serve-degradation", prop, [&](const FailingCase& c) -> PropertyRun {
+          OracleOptions degradeOptions;
+          degradeOptions.breaker.failureThreshold = 0;
+          Oracle oracle(degradeOptions);
+          Rng rng(c.seed);
+          PlanRequest req = genPlanRequest(rng);
+          req.n = 12 + c.n;
+          req.ratio = c.ratio;
+          req.searchRuns = 2;
+          return {checkServeDegradation(oracle, req), std::nullopt};
+        }));
+  }
+
   // Small-N differential sweep: exhaustive ground truth vs the DFA batch vs
   // the canonical candidates, across the acceptance ratio set.
   std::vector<Ratio> ratios = {Ratio{2, 1, 1}, Ratio{3, 1, 1}, Ratio{5, 2, 1},

@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <limits>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "grid/builder.hpp"
 #include "support/check.hpp"
+#include "support/deadline.hpp"
 
 namespace pushpart {
 namespace {
@@ -166,6 +169,83 @@ TEST(BatchTest, CleanBatchReportsAllCompleted) {
   const BatchSummary summary = runBatch(opts, [](const BatchRun&) {});
   EXPECT_EQ(summary.completed, 5);
   EXPECT_TRUE(summary.allCompleted());
+}
+
+TEST(BatchTest, PreCancelledBatchSkipsEveryRunWithoutThrowing) {
+  BatchOptions opts;
+  opts.n = 12;
+  opts.runs = 5;
+  opts.threads = 2;
+  opts.cancel.requestCancel();
+  int calls = 0;
+  const BatchSummary summary = runBatch(opts, [&](const BatchRun&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(summary.completed, 0);
+  EXPECT_EQ(summary.skippedRuns, 5);
+  EXPECT_TRUE(summary.truncated());
+  EXPECT_FALSE(summary.allCompleted());
+  EXPECT_TRUE(summary.failures.empty());
+}
+
+TEST(BatchTest, CancelDuringBatchReturnsBestSoFarTruncated) {
+  BatchOptions opts;
+  opts.n = 12;
+  opts.runs = 8;
+  opts.threads = 1;  // deterministic delivery order
+  int delivered = 0;
+  const BatchSummary summary = runBatch(opts, [&](const BatchRun& run) {
+    ++delivered;
+    // The already-delivered runs finished naturally, never torn.
+    EXPECT_NE(run.result.stop, DfaStop::kCancelled);
+    EXPECT_LE(run.result.vocEnd, run.result.vocStart);
+    if (delivered == 3) opts.cancel.requestCancel();
+  });
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(summary.completed, 3);
+  EXPECT_EQ(summary.skippedRuns, 5);
+  EXPECT_TRUE(summary.truncated());
+}
+
+/// A clock whose time is the number of times it has been read — it lets a
+/// single-threaded test expire a deadline deterministically partway through
+/// a walk, with no sleeping and no second thread.
+class CountingClock : public Clock {
+ public:
+  double nowSeconds() const override {
+    return static_cast<double>(reads_++);
+  }
+
+ private:
+  mutable std::int64_t reads_ = 0;
+};
+
+TEST(BatchTest, MidWalkDeadlineExpiryStopsWithCancelledAndIntactPartition) {
+  // The deadline expires after a handful of cancel-token polls: the walk is
+  // genuinely underway when it stops.
+  CountingClock clock;
+  DfaOptions dfa;
+  dfa.cancel = CancelToken{Deadline::after(5.0, clock)};
+  dfa.cancelCheckEvery = 1;  // poll at every push
+  Rng rng(7);
+  const DfaResult result = runDfa(randomPartition(24, Ratio{2, 1, 1}, rng),
+                                  Schedule::random(rng), dfa);
+  EXPECT_EQ(result.stop, DfaStop::kCancelled);
+  EXPECT_GT(result.pushesApplied, 0);
+  // Best-so-far state is valid: pushes are transactional, so the VoC never
+  // rose and the result is a real (if unfinished) partition.
+  EXPECT_LE(result.vocEnd, result.vocStart);
+  EXPECT_EQ(result.final.volumeOfCommunication(), result.vocEnd);
+}
+
+TEST(BatchTest, PreCancelledWalkStopsBeforeAnyPush) {
+  DfaOptions dfa;
+  dfa.cancel.requestCancel();
+  Rng rng(7);
+  const DfaResult result = runDfa(randomPartition(16, Ratio{2, 1, 1}, rng),
+                                  Schedule::random(rng), dfa);
+  EXPECT_EQ(result.stop, DfaStop::kCancelled);
+  EXPECT_EQ(result.pushesApplied, 0);
+  EXPECT_EQ(result.vocEnd, result.vocStart);
 }
 
 TEST(BatchTest, SchedulesVaryAcrossRuns) {

@@ -1,0 +1,168 @@
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pushpart {
+namespace {
+
+TEST(AdmissionTest, DisabledControllerAdmitsEverything) {
+  AdmissionController admission(AdmissionOptions{});  // maxConcurrency == 0
+  EXPECT_FALSE(admission.enabled());
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(admission.acquire(Deadline::unlimited()),
+              AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(admission.counters().admitted, 5u);
+}
+
+TEST(AdmissionTest, RejectsNegativeOptions) {
+  EXPECT_THROW(AdmissionController({-1, 4}), std::invalid_argument);
+  EXPECT_THROW(AdmissionController({2, -1}), std::invalid_argument);
+}
+
+TEST(AdmissionTest, ShedsWhenConcurrencyAndQueueAreFull) {
+  AdmissionController admission({/*maxConcurrency=*/2, /*maxQueue=*/0});
+  EXPECT_EQ(admission.acquire({}), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(admission.acquire({}), AdmissionOutcome::kAdmitted);
+  // No waiting room: the third arrival is shed immediately, even with an
+  // unlimited deadline.
+  EXPECT_EQ(admission.acquire({}), AdmissionOutcome::kQueueFull);
+  const auto c = admission.counters();
+  EXPECT_EQ(c.admitted, 2u);
+  EXPECT_EQ(c.shedQueueFull, 1u);
+  EXPECT_EQ(c.inUse, 2);
+
+  // A released slot admits again.
+  admission.release();
+  EXPECT_EQ(admission.acquire({}), AdmissionOutcome::kAdmitted);
+  admission.release();
+  admission.release();
+  EXPECT_EQ(admission.counters().inUse, 0);
+}
+
+TEST(AdmissionTest, ExpiredDeadlineInTheQueueTimesOutImmediately) {
+  AdmissionController admission({/*maxConcurrency=*/1, /*maxQueue=*/4});
+  EXPECT_EQ(admission.acquire({}), AdmissionOutcome::kAdmitted);
+  // Queue has room, but the deadline is already spent: the wait degenerates
+  // to zero length and reports a timeout instead of blocking.
+  FakeClock clock;
+  EXPECT_EQ(admission.acquire(Deadline::after(0.0, clock)),
+            AdmissionOutcome::kTimedOut);
+  EXPECT_EQ(admission.counters().shedTimeout, 1u);
+  EXPECT_EQ(admission.counters().queued, 0);
+  admission.release();
+}
+
+TEST(AdmissionTest, PermitReleasesOnDestruction) {
+  AdmissionController admission({/*maxConcurrency=*/1, /*maxQueue=*/0});
+  {
+    AdmissionController::Permit permit(admission, {});
+    EXPECT_TRUE(permit.admitted());
+    EXPECT_EQ(admission.counters().inUse, 1);
+    AdmissionController::Permit second(admission, {});
+    EXPECT_FALSE(second.admitted());
+    EXPECT_EQ(second.outcome(), AdmissionOutcome::kQueueFull);
+  }
+  // Only the admitted permit released.
+  EXPECT_EQ(admission.counters().inUse, 0);
+  AdmissionController::Permit again(admission, {});
+  EXPECT_TRUE(again.admitted());
+}
+
+BreakerOptions breakerOn(const Clock& clock, int threshold = 3,
+                         double openSeconds = 10.0) {
+  BreakerOptions options;
+  options.failureThreshold = threshold;
+  options.openSeconds = openSeconds;
+  options.clock = &clock;
+  return options;
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverTrips) {
+  BreakerOptions options;
+  options.failureThreshold = 0;
+  CircuitBreaker breaker(options);
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.allowRequest());
+    breaker.recordFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.counters().trips, 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresAndShortCircuits) {
+  FakeClock clock;
+  CircuitBreaker breaker(breakerOn(clock));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.allowRequest());
+    breaker.recordFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.counters().trips, 1u);
+  EXPECT_FALSE(breaker.allowRequest());
+  EXPECT_FALSE(breaker.allowRequest());
+  EXPECT_EQ(breaker.counters().shortCircuited, 2u);
+}
+
+TEST(CircuitBreakerTest, SuccessBetweenFailuresResetsTheRun) {
+  FakeClock clock;
+  CircuitBreaker breaker(breakerOn(clock));
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_TRUE(breaker.allowRequest());
+    breaker.recordFailure();
+    EXPECT_TRUE(breaker.allowRequest());
+    breaker.recordFailure();
+    EXPECT_TRUE(breaker.allowRequest());
+    breaker.recordSuccess();  // one success short of the threshold each time
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.counters().trips, 0u);
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterCooldownAndClosesOnProbeSuccess) {
+  FakeClock clock;
+  CircuitBreaker breaker(breakerOn(clock, 2, 10.0));
+  breaker.allowRequest();
+  breaker.recordFailure();
+  breaker.allowRequest();
+  breaker.recordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+
+  clock.advance(9.0);
+  EXPECT_FALSE(breaker.allowRequest());  // still cooling down
+  clock.advance(1.0);
+  EXPECT_TRUE(breaker.allowRequest());  // the half-open probe
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.counters().probes, 1u);
+  // While the probe is in flight, everyone else is short-circuited.
+  EXPECT_FALSE(breaker.allowRequest());
+
+  breaker.recordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allowRequest());
+  breaker.recordSuccess();
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAnotherCooldown) {
+  FakeClock clock;
+  CircuitBreaker breaker(breakerOn(clock, 1, 5.0));
+  breaker.allowRequest();
+  breaker.recordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+
+  clock.advance(5.0);
+  EXPECT_TRUE(breaker.allowRequest());
+  breaker.recordFailure();  // probe busted its deadline too
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.counters().trips, 2u);
+  EXPECT_FALSE(breaker.allowRequest());  // cool-down restarted
+  clock.advance(5.0);
+  EXPECT_TRUE(breaker.allowRequest());
+  breaker.recordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+}  // namespace
+}  // namespace pushpart

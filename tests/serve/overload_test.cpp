@@ -1,0 +1,175 @@
+// Timing-sensitive overload tests: real threads, real (short) waits. These
+// assert only on outcomes — shed/admitted, timed-out/delivered — never on
+// wall-clock ratios, but they still depend on bounded waits actually
+// expiring, so the binary runs RUN_SERIAL (see tests/CMakeLists.txt) to
+// keep an oversubscribed `ctest -j` from starving the waiters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/cache.hpp"
+#include "serve/oracle.hpp"
+
+namespace pushpart {
+namespace {
+
+CanonicalKey keyFor(int n, PlanTier tier = PlanTier::kFast) {
+  PlanRequest req;
+  req.n = n;
+  req.tier = tier;
+  if (tier == PlanTier::kSearch) req.searchRuns = 4;
+  return canonicalize(req);
+}
+
+// The producer-death regression (really: producer-too-slow, which subsumes
+// it): a coalesced waiter bounded by a deadline escapes with timedOut
+// instead of blocking on a producer that may never deliver.
+TEST(OverloadTest, CoalescedWaiterEscapesASlowProducer) {
+  PlanCache cache(8, 2);
+  const CanonicalKey key = keyFor(33);
+  std::atomic<bool> solving{false};
+  std::atomic<bool> release{false};
+
+  std::thread producer([&]() {
+    cache.getOrCompute(key, [&]() {
+      solving.store(true);
+      while (!release.load()) std::this_thread::yield();
+      PlanAnswer a;
+      a.voc = 7;
+      return a;
+    });
+  });
+  while (!solving.load()) std::this_thread::yield();
+
+  const PlanCache::Outcome waited =
+      cache.getOrCompute(key, []() { return PlanAnswer{}; },
+                         Deadline::after(0.05));
+  EXPECT_TRUE(waited.coalesced);
+  EXPECT_TRUE(waited.timedOut);
+  EXPECT_EQ(cache.counters().waitTimeouts, 1u);
+
+  release.store(true);
+  producer.join();
+  // The producer's answer still landed; a later lookup hits.
+  EXPECT_TRUE(cache.getOrCompute(key, []() { return PlanAnswer{}; }).hit);
+}
+
+TEST(OverloadTest, OracleDegradesACoalescedTimeoutToClosedForm) {
+  std::atomic<bool> solving{false};
+  std::atomic<bool> release{false};
+  OracleOptions options;
+  options.onSolveStart = [&](const CanonicalKey&) {
+    solving.store(true);
+    while (!release.load()) std::this_thread::yield();
+  };
+  Oracle oracle(options);
+
+  PlanRequest req;
+  req.n = 28;
+  req.tier = PlanTier::kSearch;
+  req.searchRuns = 4;
+
+  std::thread producer([&]() { oracle.plan(req); });
+  while (!solving.load()) std::this_thread::yield();
+
+  PlanCallOptions call;
+  call.deadline = Deadline::after(0.05);
+  const PlanResponse r = oracle.plan(req, call);
+  EXPECT_TRUE(r.coalesced);
+  EXPECT_FALSE(r.shed);
+  // Escaped the wait with a fresh closed-form answer, marked degraded.
+  EXPECT_EQ(r.answer.servedTier, PlanTier::kFast);
+  EXPECT_EQ(r.answer.degrade, DegradeReason::kNoTimeForSearch);
+  EXPECT_GT(r.answer.voc, 0);
+
+  release.store(true);
+  producer.join();
+  // The slow producer's full answer was cached for later callers.
+  EXPECT_TRUE(oracle.plan(req).cacheHit);
+}
+
+TEST(OverloadTest, QueuedAcquireTimesOutAtItsDeadline) {
+  AdmissionController admission({/*maxConcurrency=*/1, /*maxQueue=*/2});
+  ASSERT_EQ(admission.acquire({}), AdmissionOutcome::kAdmitted);
+  // The slot never frees: the queued acquire must give up at its deadline.
+  EXPECT_EQ(admission.acquire(Deadline::after(0.05)),
+            AdmissionOutcome::kTimedOut);
+  EXPECT_EQ(admission.counters().shedTimeout, 1u);
+  EXPECT_EQ(admission.counters().queued, 0);
+  admission.release();
+}
+
+TEST(OverloadTest, QueuedAcquireWinsWhenASlotFreesInTime) {
+  AdmissionController admission({/*maxConcurrency=*/1, /*maxQueue=*/2});
+  ASSERT_EQ(admission.acquire({}), AdmissionOutcome::kAdmitted);
+
+  std::atomic<bool> waiterDone{false};
+  AdmissionOutcome waiterOutcome = AdmissionOutcome::kQueueFull;
+  std::thread waiter([&]() {
+    waiterOutcome = admission.acquire(Deadline::after(5.0));
+    waiterDone.store(true);
+  });
+  // Give the waiter time to enqueue, then free the slot.
+  while (admission.counters().queued == 0 && !waiterDone.load())
+    std::this_thread::yield();
+  admission.release();
+  waiter.join();
+  EXPECT_EQ(waiterOutcome, AdmissionOutcome::kAdmitted);
+  admission.release();
+}
+
+// End-to-end mini overload run: more clients than slots, cache-busting
+// tier-B keys, short deadlines. The ladder's global contract — every
+// request is shed or answered, and nothing late goes unmarked — must hold
+// under real contention.
+TEST(OverloadTest, EveryRequestIsShedOrAnsweredAndLateImpliesMarked) {
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 4;
+  OracleOptions options;
+  options.admission.maxConcurrency = 2;
+  options.admission.maxQueue = 2;
+  options.cancelCheckEvery = 128;
+  Oracle oracle(options);
+
+  std::atomic<int> shed{0};
+  std::atomic<int> answered{0};
+  std::atomic<int> lateUnmarked{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        PlanRequest req;
+        req.n = 60;
+        req.tier = PlanTier::kSearch;
+        req.searchRuns = 200;  // far more than a 40 ms budget allows
+        req.searchSeed = static_cast<std::uint64_t>(1 + t * kPerThread + i);
+        PlanCallOptions call;
+        call.deadline = Deadline::after(0.04);
+        const PlanResponse r = oracle.plan(req, call);
+        if (r.shed) {
+          ++shed;
+          continue;
+        }
+        ++answered;
+        if (r.deadlineExceeded && r.answer.fullFidelity()) ++lateUnmarked;
+      }
+    });
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(shed.load() + answered.load(), kThreads * kPerThread);
+  EXPECT_GT(answered.load(), 0);
+  EXPECT_EQ(lateUnmarked.load(), 0);
+
+  const OracleStats stats = oracle.stats();
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed.load()));
+  // With 6 clients on 2 slots and 200-walk budgets, the ladder must have
+  // actually engaged somewhere: degradation, shedding, or both.
+  EXPECT_GT(stats.degraded + stats.shed, 0u);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,171 @@
+#include "serve/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "serve/oracle.hpp"
+
+namespace pushpart {
+namespace {
+
+CanonicalKey keyFor(int n, PlanTier tier = PlanTier::kFast) {
+  PlanRequest req;
+  req.n = n;
+  req.tier = tier;
+  if (tier == PlanTier::kSearch) req.searchRuns = 3;
+  return canonicalize(req);
+}
+
+/// A full-fidelity answer exercising every serialized field, including
+/// doubles that don't round-trip through shorter formats.
+PlanAnswer richAnswer(int salt) {
+  PlanAnswer a;
+  a.shape = static_cast<CandidateShape>(salt % kNumCandidates);
+  a.model.commSeconds = 0.1 + salt / 3.0;
+  a.model.overlapSeconds = 0.01 * salt;
+  a.model.compSeconds = 1.0 / (salt + 7);
+  a.model.execSeconds = a.model.compSeconds + a.model.commSeconds;
+  a.voc = 1000 + salt;
+  a.tier = salt % 2 == 0 ? PlanTier::kFast : PlanTier::kSearch;
+  a.servedTier = a.tier;
+  a.solveSeconds = 3.14159e-4 * (salt + 1);
+  if (a.tier == PlanTier::kSearch) {
+    a.searchRuns = 8;
+    a.searchCompleted = 8;
+    a.searchBestVoc = 900 + salt;
+    a.searchBestExecSeconds = a.model.execSeconds * 1.125;
+    a.searchConfirmedCandidate = true;
+  }
+  return a;
+}
+
+void populate(PlanCache& cache, int entries) {
+  for (int i = 0; i < entries; ++i)
+    cache.getOrCompute(keyFor(20 + i), [&]() { return richAnswer(i); });
+}
+
+TEST(SnapshotTest, SaveLoadSaveIsByteIdentical) {
+  PlanCache cache(64, 4);
+  populate(cache, 6);
+  std::ostringstream first;
+  EXPECT_EQ(savePlanCacheSnapshot(cache, first), 6u);
+
+  PlanCache restored(64, 4);
+  std::istringstream in(first.str());
+  const SnapshotLoadReport report = loadPlanCacheSnapshot(restored, in);
+  EXPECT_EQ(report.loaded, 6u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_EQ(restored.counters().entries, 6u);
+
+  std::ostringstream second;
+  savePlanCacheSnapshot(restored, second);
+  // %.17g doubles + deterministic export order make the round trip exact.
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(SnapshotTest, RestoredAnswersAreBitwiseEqual) {
+  PlanCache cache(64, 4);
+  populate(cache, 4);
+  std::ostringstream os;
+  savePlanCacheSnapshot(cache, os);
+  PlanCache restored(64, 4);
+  std::istringstream in(os.str());
+  loadPlanCacheSnapshot(restored, in);
+  for (int i = 0; i < 4; ++i) {
+    const auto hit = restored.tryGet(keyFor(20 + i));
+    ASSERT_TRUE(hit.has_value()) << "entry " << i << " missing after reload";
+    EXPECT_EQ(*hit, richAnswer(i));
+  }
+}
+
+TEST(SnapshotTest, FlippedByteSkipsThatEntryAndKeepsTheRest) {
+  PlanCache cache(64, 4);
+  populate(cache, 5);
+  std::ostringstream os;
+  savePlanCacheSnapshot(cache, os);
+  std::string text = os.str();
+
+  // Corrupt one digit inside the third entry line's payload.
+  std::size_t pos = 0;
+  for (int line = 0; line < 4; ++line) pos = text.find('\n', pos) + 1;
+  const std::size_t digit = text.find_first_of("0123456789", pos + 20);
+  ASSERT_NE(digit, std::string::npos);
+  text[digit] = text[digit] == '9' ? '8' : '9';
+
+  PlanCache restored(64, 4);
+  std::istringstream in(text);
+  const SnapshotLoadReport report = loadPlanCacheSnapshot(restored, in);
+  EXPECT_EQ(report.loaded, 4u);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(restored.counters().entries, 4u);
+}
+
+TEST(SnapshotTest, TruncatedFileKeepsThePrefixEntries) {
+  PlanCache cache(64, 4);
+  populate(cache, 5);
+  std::ostringstream os;
+  savePlanCacheSnapshot(cache, os);
+  const std::string text = os.str();
+
+  // Cut mid-way through the last entry line, as a crash mid-append would.
+  const std::string cut = text.substr(0, text.size() - 25);
+  PlanCache restored(64, 4);
+  std::istringstream in(cut);
+  const SnapshotLoadReport report = loadPlanCacheSnapshot(restored, in);
+  EXPECT_EQ(report.loaded, 4u);
+  EXPECT_EQ(report.skipped, 1u);
+}
+
+TEST(SnapshotTest, VersionMismatchRefusesTheWholeFile) {
+  PlanCache restored(64, 4);
+  std::istringstream future("pushpart-plancache v2\nentries 0\n");
+  EXPECT_THROW(loadPlanCacheSnapshot(restored, future), std::runtime_error);
+  std::istringstream garbage("not a snapshot at all\n");
+  EXPECT_THROW(loadPlanCacheSnapshot(restored, garbage), std::runtime_error);
+  EXPECT_EQ(restored.counters().entries, 0u);
+}
+
+TEST(SnapshotTest, PathRoundTripViaAtomicRename) {
+  const std::string path =
+      testing::TempDir() + "/pushpart_snapshot_test.snap";
+  PlanCache cache(64, 4);
+  populate(cache, 3);
+  EXPECT_EQ(savePlanCacheSnapshot(cache, path), 3u);
+  PlanCache restored(64, 4);
+  const SnapshotLoadReport report = loadPlanCacheSnapshot(restored, path);
+  EXPECT_EQ(report.loaded, 3u);
+  EXPECT_EQ(report.skipped, 0u);
+  std::remove(path.c_str());
+  EXPECT_THROW(loadPlanCacheSnapshot(restored, path), std::runtime_error);
+}
+
+// End to end through the Oracle: a snapshot-warmed oracle serves its first
+// request for a restored key as a cache hit, bit-identical to the answer
+// the original oracle computed cold.
+TEST(SnapshotTest, WarmedOracleServesRestoredKeysAsHits) {
+  const std::string path = testing::TempDir() + "/pushpart_oracle_warm.snap";
+  PlanRequest req;
+  req.n = 40;
+  req.tier = PlanTier::kSearch;
+  req.searchRuns = 2;
+
+  Oracle original(OracleOptions{});
+  const PlanResponse cold = original.plan(req);
+  EXPECT_FALSE(cold.cacheHit);
+  ASSERT_GT(original.saveSnapshot(path), 0u);
+
+  Oracle restarted(OracleOptions{});
+  const SnapshotLoadReport report = restarted.loadSnapshot(path);
+  EXPECT_GE(report.loaded, 1u);
+  const PlanResponse warm = restarted.plan(req);
+  EXPECT_TRUE(warm.cacheHit);
+  EXPECT_EQ(warm.answer, cold.answer);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "grid/builder.hpp"
 #include "sim/mmm_sim.hpp"
@@ -108,6 +110,55 @@ TEST(RetryPolicyTest, JitterIsDeterministicAndBounded) {
     EXPECT_GE(da, nominal * 0.75);
     EXPECT_LE(da, nominal * 1.25);
   }
+}
+
+TEST(RetryPolicyTest, DecorrelatedJitterStaysInsideItsEnvelope) {
+  RetryPolicy policy;
+  policy.jitterMode = JitterMode::kDecorrelated;
+  policy.backoffSeconds = 1e-4;
+  policy.backoffMaxSeconds = 5e-3;
+  Rng a(9), b(9);
+  double envelope = policy.backoffSeconds;  // max possible delay_{r-1}
+  for (int r = 1; r <= 8; ++r) {
+    const double da = policy.backoffBeforeRetry(r, a);
+    EXPECT_DOUBLE_EQ(da, policy.backoffBeforeRetry(r, b));  // deterministic
+    EXPECT_GE(da, policy.backoffSeconds);
+    envelope = std::min(policy.backoffMaxSeconds, 3.0 * envelope);
+    EXPECT_LE(da, envelope);
+  }
+}
+
+// The point of decorrelated jitter: retriers that share a schedule must not
+// collide round after round. With relative jitter every retrier at retry r
+// sits within ±jitterFraction of the same exponential point; decorrelated
+// draws spread over [base, 3 · previous], so across seeds the delays at the
+// same retry number disperse by an order of magnitude, not a few percent.
+TEST(RetryPolicyTest, DecorrelatedJitterSpreadsFarWiderThanRelative) {
+  constexpr int kPeers = 64;
+  constexpr int kRetry = 4;
+  const auto spreadAtRetry = [&](JitterMode mode) {
+    RetryPolicy policy;
+    policy.jitterMode = mode;
+    policy.backoffSeconds = 1e-4;
+    policy.backoffFactor = 2.0;
+    policy.backoffMaxSeconds = 1.0;  // cap far away: measure pure spread
+    double lo = std::numeric_limits<double>::infinity(), hi = 0.0;
+    for (int peer = 0; peer < kPeers; ++peer) {
+      Rng rng(static_cast<std::uint64_t>(1000 + peer));
+      const double d = policy.backoffBeforeRetry(kRetry, rng);
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    return hi / lo;
+  };
+
+  const double relative = spreadAtRetry(JitterMode::kRelative);
+  const double decorrelated = spreadAtRetry(JitterMode::kDecorrelated);
+  // Relative jitter at ±10% can spread at most 1.1/0.9 ≈ 1.22x.
+  EXPECT_LE(relative, 1.25);
+  // Decorrelated draws from nearly the whole [base, 27 · base] envelope.
+  EXPECT_GE(decorrelated, 4.0);
+  EXPECT_GT(decorrelated, relative * 3.0);
 }
 
 // ------------------------------------------------------------ FaultInjector

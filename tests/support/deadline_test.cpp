@@ -1,0 +1,89 @@
+#include "support/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+namespace pushpart {
+namespace {
+
+TEST(DeadlineTest, DefaultIsUnlimitedAndNeverExpires) {
+  const Deadline d;
+  EXPECT_TRUE(d.isUnlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remainingSeconds()));
+  EXPECT_FALSE(Deadline::unlimited().expired());
+}
+
+TEST(DeadlineTest, ExpiresWhenTheClockPassesTheBudget) {
+  FakeClock clock(100.0);
+  const Deadline d = Deadline::after(5.0, clock);
+  EXPECT_FALSE(d.isUnlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_DOUBLE_EQ(d.remainingSeconds(), 5.0);
+  clock.advance(4.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_DOUBLE_EQ(d.remainingSeconds(), 1.0);
+  clock.advance(1.0);
+  EXPECT_TRUE(d.expired());
+  EXPECT_DOUBLE_EQ(d.remainingSeconds(), 0.0);
+  clock.advance(100.0);  // stays expired, remaining stays clamped
+  EXPECT_TRUE(d.expired());
+  EXPECT_DOUBLE_EQ(d.remainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  FakeClock clock;
+  EXPECT_TRUE(Deadline::after(0.0, clock).expired());
+  EXPECT_TRUE(Deadline::after(-1.0, clock).expired());
+  EXPECT_DOUBLE_EQ(Deadline::after(-1.0, clock).remainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, SteadyClockAdvancesMonotonically) {
+  const double a = Clock::steady().nowSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const double b = Clock::steady().nowSeconds();
+  EXPECT_GT(b, a);
+  // A steady-clock deadline with a huge budget does not expire immediately.
+  EXPECT_FALSE(Deadline::after(3600.0).expired());
+}
+
+TEST(CancelTokenTest, CopiesShareTheFlag) {
+  CancelToken a;
+  CancelToken b = a;
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_FALSE(b.cancelled());
+  b.requestCancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(CancelTokenTest, DeadlineExpiryCancelsTheToken) {
+  FakeClock clock;
+  const CancelToken token{Deadline::after(2.0, clock)};
+  EXPECT_FALSE(token.cancelled());
+  clock.advance(2.0);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, WithDeadlineKeepsTheSharedFlag) {
+  FakeClock clock;
+  CancelToken original;
+  const CancelToken bounded = original.withDeadline(Deadline::after(1.0, clock));
+  EXPECT_FALSE(bounded.cancelled());
+  // The flag is shared both ways...
+  original.requestCancel();
+  EXPECT_TRUE(bounded.cancelled());
+
+  // ...and the deadline applies only to the bounded copy.
+  CancelToken fresh;
+  const CancelToken freshBounded =
+      fresh.withDeadline(Deadline::after(1.0, clock));
+  clock.advance(1.0);
+  EXPECT_TRUE(freshBounded.cancelled());
+  EXPECT_FALSE(fresh.cancelled());
+}
+
+}  // namespace
+}  // namespace pushpart

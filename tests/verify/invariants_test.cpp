@@ -150,6 +150,33 @@ TEST(CheckOracleTierAgreementTest, TiersAgreeOnTypicalRequests) {
   EXPECT_TRUE(report.ok()) << report.str();
 }
 
+TEST(CheckServeDegradationTest, LadderContractHoldsOnTypicalRequests) {
+  OracleOptions options;
+  options.breaker.failureThreshold = 0;  // the checker busts deadlines itself
+  Oracle oracle(options);
+  PlanRequest req;
+  req.n = 32;
+  req.ratio = Ratio{3, 1, 1};
+  req.searchRuns = 2;
+  const CheckReport report = checkServeDegradation(oracle, req);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(CheckServeDegradationTest, HoldsAcrossRatiosAndTiersRequested) {
+  for (const Ratio& ratio : {Ratio{2, 1, 1}, Ratio{5, 2, 1}, Ratio{10, 3, 1}}) {
+    OracleOptions options;
+    options.breaker.failureThreshold = 0;
+    Oracle oracle(options);
+    PlanRequest req;
+    req.n = 24;
+    req.ratio = ratio;
+    req.tier = PlanTier::kFast;  // the checker forces both tiers itself
+    req.searchRuns = 3;
+    const CheckReport report = checkServeDegradation(oracle, req);
+    EXPECT_TRUE(report.ok()) << ratio.str() << ": " << report.str();
+  }
+}
+
 TEST(CorpusFilesTest, MissingDirectoryYieldsEmptyList) {
   EXPECT_TRUE(corpusFiles("/no/such/dir").empty());
 }

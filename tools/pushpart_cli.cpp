@@ -8,6 +8,8 @@
 //   pushpart plan      --n=1000 --ratio=5:2:1 [--algo=SCB] [--tier=fast|search]
 //                      [--runs=16] [--seed=1] [--topology=full|star] [--hub=P]
 //                      [--bandwidth-mbs=1000] [--flops=1e9] [--repl]
+//                      [--deadline-ms=50] [--max-concurrency=4] [--max-queue=16]
+//                      [--snapshot=plans.snap]
 //   pushpart commplan  --in=shape.pp [--csv=plan.csv]
 //   pushpart faults    --in=shape.pp --ratio=5:2:1 [--algo=SCB] [--drop=0.05]
 //                      [--death-proc=R] [--death-frac=0.5 | --death-at=<s>]
@@ -23,7 +25,12 @@
 // asks the serving-layer oracle (src/serve) for the optimal shape — cached,
 // canonicalized, tier A (ranked candidates) or tier B (candidates
 // cross-checked by a budgeted DFA search) — and with --repl answers one
-// request per stdin line against a shared cache; `faults` replays a saved
+// request per stdin line against a shared cache. Under load `plan` degrades
+// rather than queues: --deadline-ms bounds each request (expired searches
+// are cancelled cooperatively and served truncated or closed-form-only),
+// --max-concurrency/--max-queue bound admission (beyond them requests are
+// shed), and --snapshot warm-starts the answer cache from a file on entry
+// and persists it back (atomic rename) on exit; `faults` replays a saved
 // partition through the fault-injected simulator and reports the
 // retry/recovery behaviour next to the fault-free baseline; `verify` runs
 // the property-based verification suite (src/verify): push/DFA/serialize
@@ -31,6 +38,7 @@
 // replay of the checked-in counterexample corpus. All commands accept
 // --log-level=debug|info|warn|error.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -68,6 +76,8 @@ int usage() {
       "  plan      --n=1000 --ratio=5:2:1 [--algo=SCB] [--tier=fast|search]\n"
       "            [--runs=16] [--seed=1] [--topology=full|star] [--hub=P]\n"
       "            [--bandwidth-mbs=1000] [--flops=1e9] [--repl]\n"
+      "            [--deadline-ms=50] [--max-concurrency=4] [--max-queue=16]\n"
+      "            [--snapshot=plans.snap]\n"
       "  commplan  --in=shape.pp [--csv=plan.csv]\n"
       "  faults    --in=shape.pp --ratio=5:2:1 [--algo=SCB] [--drop=0.05]\n"
       "            [--death-proc=R] [--death-frac=0.5 | --death-at=<s>]\n"
@@ -200,13 +210,23 @@ PlanRequest planRequestFromFlags(const Flags& flags) {
 
 void printPlanResponse(const PlanResponse& r) {
   std::printf("%s\n", r.key.c_str());
+  if (r.shed) {
+    std::printf("  SHED (%s) latency=%gus\n", shedReasonName(r.shedReason),
+                r.latencySeconds * 1e6);
+    return;
+  }
   std::printf(
-      "  shape=%s exec=%gs voc=%lld tier=%s %s latency=%gus\n",
+      "  shape=%s exec=%gs voc=%lld tier=%s served=%s %s latency=%gus\n",
       candidateName(r.answer.shape), r.answer.model.execSeconds,
       static_cast<long long>(r.answer.voc), planTierName(r.answer.tier),
+      planTierName(r.answer.servedTier),
       r.cacheHit ? "hit" : (r.coalesced ? "coalesced" : "miss"),
       r.latencySeconds * 1e6);
-  if (r.answer.tier == PlanTier::kSearch)
+  if (!r.answer.fullFidelity())
+    std::printf("  DEGRADED: %s%s%s\n", degradeReasonName(r.answer.degrade),
+                r.answer.truncated ? ", search truncated" : "",
+                r.deadlineExceeded ? ", deadline exceeded" : "");
+  if (r.answer.servedTier == PlanTier::kSearch)
     std::printf("  search: %d/%d walks, best exec %gs voc %lld — %s\n",
                 r.answer.searchCompleted, r.answer.searchRuns,
                 r.answer.searchBestExecSeconds,
@@ -234,15 +254,60 @@ void printOracleStats(const OracleStats& s) {
   line("hit latency", s.hitLatency);
   line("tier-A solve", s.tierASolves);
   line("tier-B solve", s.tierBSolves);
+  if (s.shed + s.degraded > 0 || s.breaker.trips > 0)
+    std::printf(
+        "overload: %llu shed, %llu degraded (%llu truncated, %llu no-time, "
+        "%llu breaker-open, %llu late), breaker %s (%llu trips)\n",
+        static_cast<unsigned long long>(s.shed),
+        static_cast<unsigned long long>(s.degraded),
+        static_cast<unsigned long long>(s.truncatedSearch),
+        static_cast<unsigned long long>(s.noTimeForSearch),
+        static_cast<unsigned long long>(s.breakerOpenServes),
+        static_cast<unsigned long long>(s.late),
+        breakerStateName(s.breakerState),
+        static_cast<unsigned long long>(s.breaker.trips));
+}
+
+PlanCallOptions planCallFromFlags(const Flags& flags) {
+  PlanCallOptions call;
+  const double deadlineMs = flags.f64("deadline-ms", 0.0);
+  if (deadlineMs > 0.0) call.deadline = Deadline::after(deadlineMs / 1e3);
+  return call;
 }
 
 int cmdPlanOracle(const Flags& flags) {
   OracleOptions options;
   options.machine = machineFromFlags(flags, "5:2:1");
+  options.admission.maxConcurrency =
+      static_cast<int>(flags.i64("max-concurrency", 0));
+  options.admission.maxQueue = static_cast<int>(flags.i64("max-queue", 16));
   Oracle oracle(options);
 
+  const std::string snapshotPath = flags.str("snapshot", "");
+  if (!snapshotPath.empty()) {
+    // A missing file is a normal cold start; a corrupt entry costs itself
+    // only; a version mismatch (throw) aborts the command.
+    std::ifstream probe(snapshotPath);
+    if (probe) {
+      const SnapshotLoadReport report = oracle.loadSnapshot(snapshotPath);
+      std::printf("snapshot: restored %zu entries from %s", report.loaded,
+                  snapshotPath.c_str());
+      if (report.skipped > 0)
+        std::printf(" (%zu corrupt entries skipped)", report.skipped);
+      std::printf("\n");
+    }
+  }
+  const auto persist = [&]() {
+    if (snapshotPath.empty()) return;
+    const std::size_t written = oracle.saveSnapshot(snapshotPath);
+    std::printf("snapshot: saved %zu entries to %s\n", written,
+                snapshotPath.c_str());
+  };
+
   if (!flags.b("repl", false)) {
-    printPlanResponse(oracle.plan(planRequestFromFlags(flags)));
+    printPlanResponse(
+        oracle.plan(planRequestFromFlags(flags), planCallFromFlags(flags)));
+    persist();
     return 0;
   }
 
@@ -263,19 +328,22 @@ int cmdPlanOracle(const Flags& flags) {
     try {
       const Flags lineFlags(static_cast<int>(argv.size()), argv.data());
       for (const std::string& name : lineFlags.names()) {
-        static const char* kKnown[] = {"n",   "ratio", "algo", "topology",
-                                       "hub", "tier",  "runs", "seed"};
+        static const char* kKnown[] = {"n",    "ratio", "algo",
+                                       "topology", "hub", "tier",
+                                       "runs", "seed",  "deadline-ms"};
         bool known = false;
         for (const char* k : kKnown) known = known || name == k;
         if (!known)
           throw std::invalid_argument("unknown request field '" + name + "'");
       }
-      printPlanResponse(oracle.plan(planRequestFromFlags(lineFlags)));
+      printPlanResponse(oracle.plan(planRequestFromFlags(lineFlags),
+                                    planCallFromFlags(lineFlags)));
     } catch (const std::exception& e) {
       std::cout << "error: " << e.what() << "\n";
     }
   }
   printOracleStats(oracle.stats());
+  persist();
   return 0;
 }
 
