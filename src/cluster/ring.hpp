@@ -1,0 +1,56 @@
+// Consistent-hash ring: canonical plan-request keys -> owner nodes.
+//
+// The cluster routes by the serving layer's FNV-1a canonical key hash
+// (serve/request.hpp): each node contributes `vnodesPerNode` points to a
+// 64-bit ring (the hash of "node <id> vnode <v>"), and a key's owners are
+// the first k *distinct* nodes found walking clockwise from the key's hash.
+// Virtual nodes smooth the per-node share (with ~32 points a node's share
+// is within a few percent of 1/N) and, membase-style, make the ownership
+// map a pure function of the member set — the router, the rebalancer and
+// the tests all recompute identical owner lists from (members, key, k),
+// no ownership table to keep coherent.
+//
+// Membership here is the *configured* fleet, not the live one: a dead node
+// keeps its ranges (so its recovered self rejoins the same ranges) and the
+// router simply fails over to the key's surviving owners. That is what
+// keeps a kill-rejoin cycle from churning every key's owner list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pushpart {
+
+class HashRing {
+ public:
+  /// A ring over nodes {0, .., nodeCount-1}, each with `vnodesPerNode`
+  /// points. Throws std::invalid_argument when either is non-positive.
+  HashRing(int nodeCount, int vnodesPerNode = 32);
+
+  int nodeCount() const { return nodeCount_; }
+  int vnodesPerNode() const { return vnodesPerNode_; }
+
+  /// The first `k` distinct nodes clockwise from `keyHash` (k is clamped to
+  /// nodeCount). Deterministic: a pure function of (ring config, keyHash).
+  /// The first entry is the key's primary owner.
+  std::vector<int> ownersFor(std::uint64_t keyHash, int k) const;
+
+  /// True when `node` is among ownersFor(keyHash, k).
+  bool owns(int node, std::uint64_t keyHash, int k) const;
+
+  /// Fraction of the 64-bit ring owned (as primary) by each node —
+  /// exposed for balance tests and the cluster stats surface.
+  std::vector<double> primaryShares() const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    int node;
+  };
+
+  int nodeCount_;
+  int vnodesPerNode_;
+  std::vector<Point> points_;  ///< Sorted by hash.
+};
+
+}  // namespace pushpart

@@ -227,4 +227,28 @@ SnapshotLoadReport Oracle::loadSnapshot(const std::string& path) {
   return loadPlanCacheSnapshot(cache_, path);
 }
 
+SnapshotLoadReport Oracle::tryLoadSnapshot(const std::string& path) {
+  return tryLoadPlanCacheSnapshot(cache_, path);
+}
+
+SnapshotLoadReport Oracle::loadSnapshotSegment(std::istream& is) {
+  return tryLoadPlanCacheSnapshot(cache_, is);
+}
+
+std::optional<PlanAnswer> Oracle::peekCached(const CanonicalKey& key) {
+  return cache_.tryGet(key);
+}
+
+void Oracle::insertReplica(const std::string& keyText,
+                           const PlanAnswer& answer) {
+  // Replication obeys the same cacheability rule as the local cache: a
+  // degraded answer is served once, never stored anywhere.
+  if (!answer.fullFidelity()) return;
+  cache_.insertWarm(keyText, answer);
+}
+
+std::vector<PlanCache::SnapshotEntry> Oracle::exportCacheEntries() const {
+  return cache_.exportEntries();
+}
+
 }  // namespace pushpart

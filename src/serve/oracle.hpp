@@ -25,6 +25,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <optional>
+#include <vector>
 
 #include "model/machine.hpp"
 #include "serve/admission.hpp"
@@ -159,6 +162,36 @@ class Oracle {
   /// Warms the answer cache from `path`. Corrupt entries are skipped;
   /// a version mismatch throws and loads nothing.
   SnapshotLoadReport loadSnapshot(const std::string& path);
+
+  /// Non-throwing loadSnapshot: version refusal and unreadable files come
+  /// back in the report (versionRefused/error) instead of an exception, so
+  /// a serving path can start cold and say exactly why.
+  SnapshotLoadReport tryLoadSnapshot(const std::string& path);
+
+  /// Loads one snapshot-format document (e.g. a rebalance segment streamed
+  /// by a cluster peer) into the cache, non-throwing. Callers that require
+  /// a byte-perfect transfer assert on report.clean().
+  SnapshotLoadReport loadSnapshotSegment(std::istream& is);
+
+  // -- Replication surface (src/cluster) ----------------------------------
+  // The cluster router replicates full-fidelity cache entries across the
+  // key's owner nodes and reads them back from any replica; these are the
+  // minimal cache pass-throughs that make an Oracle clusterable without
+  // exposing the cache itself.
+
+  /// The cached answer for `key`, if resident (counts a hit and refreshes
+  /// LRU — a replica read is real traffic). Never solves, never waits on
+  /// in-flight solves.
+  std::optional<PlanAnswer> peekCached(const CanonicalKey& key);
+
+  /// Inserts a replicated entry. Only full-fidelity answers are accepted
+  /// (the cluster shares the single-process cacheability rule); degraded
+  /// answers are ignored. `keyText` must be canonical key text.
+  void insertReplica(const std::string& keyText, const PlanAnswer& answer);
+
+  /// Every resident cache entry (deterministic order; see
+  /// PlanCache::exportEntries) — what rebalance filters by ring ownership.
+  std::vector<PlanCache::SnapshotEntry> exportCacheEntries() const;
 
   const OracleOptions& options() const { return options_; }
 

@@ -81,8 +81,8 @@ bool parsePayload(const std::string& payload,
 
 }  // namespace
 
-std::size_t savePlanCacheSnapshot(const PlanCache& cache, std::ostream& os) {
-  const auto entries = cache.exportEntries();
+std::size_t savePlanCacheSegment(
+    const std::vector<PlanCache::SnapshotEntry>& entries, std::ostream& os) {
   os << kMagic << '\n';
   os << "entries " << entries.size() << '\n';
   for (const auto& entry : entries) {
@@ -92,6 +92,10 @@ std::size_t savePlanCacheSnapshot(const PlanCache& cache, std::ostream& os) {
   if (!os)
     throw std::runtime_error("savePlanCacheSnapshot: stream write failed");
   return entries.size();
+}
+
+std::size_t savePlanCacheSnapshot(const PlanCache& cache, std::ostream& os) {
+  return savePlanCacheSegment(cache.exportEntries(), os);
 }
 
 std::size_t savePlanCacheSnapshot(const PlanCache& cache,
@@ -118,16 +122,18 @@ std::size_t savePlanCacheSnapshot(const PlanCache& cache,
   return written;
 }
 
-SnapshotLoadReport loadPlanCacheSnapshot(PlanCache& cache, std::istream& is) {
+SnapshotLoadReport tryLoadPlanCacheSnapshot(PlanCache& cache,
+                                            std::istream& is) {
+  SnapshotLoadReport report;
   std::string magic;
   std::getline(is, magic);
   if (!magic.empty() && magic.back() == '\r') magic.pop_back();
-  if (magic != kMagic)
-    throw std::runtime_error(
-        "loadPlanCacheSnapshot: unsupported snapshot version '" + magic +
-        "' (expected '" + std::string(kMagic) + "')");
-
-  SnapshotLoadReport report;
+  if (magic != kMagic) {
+    report.versionRefused = true;
+    report.error = "loadPlanCacheSnapshot: unsupported snapshot version '" +
+                   magic + "' (expected '" + std::string(kMagic) + "')";
+    return report;
+  }
   std::string line;
   while (std::getline(is, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -156,6 +162,23 @@ SnapshotLoadReport loadPlanCacheSnapshot(PlanCache& cache, std::istream& is) {
     cache.insertWarm(entry.key, entry.answer);
     ++report.loaded;
   }
+  return report;
+}
+
+SnapshotLoadReport tryLoadPlanCacheSnapshot(PlanCache& cache,
+                                            const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    SnapshotLoadReport report;
+    report.error = "loadPlanCacheSnapshot: cannot open " + path;
+    return report;
+  }
+  return tryLoadPlanCacheSnapshot(cache, in);
+}
+
+SnapshotLoadReport loadPlanCacheSnapshot(PlanCache& cache, std::istream& is) {
+  const SnapshotLoadReport report = tryLoadPlanCacheSnapshot(cache, is);
+  if (!report.ok()) throw std::runtime_error(report.error);
   return report;
 }
 

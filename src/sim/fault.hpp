@@ -117,6 +117,85 @@ struct RetryPolicy {
   double backoffBeforeRetry(int retry, Rng& rng) const;
 };
 
+// ---------------------------------------------------------------------------
+// Cluster-scale faults: the oracle cluster (src/cluster) runs N simulated
+// serving nodes behind a router, and its failure modes are node-level rather
+// than processor-level — whole nodes die and rejoin, links partition, nodes
+// flap up and down, or merely slow down. A ClusterFaultPlan is the same idea
+// as a FaultPlan one layer up: a declarative, seed-driven scenario whose
+// every random decision (heartbeat drops, retry jitter) flows through the
+// same FaultInjector stream machinery, so a (plan, workload, options) triple
+// fully determines a drill — kill/partition/flap/slow scenarios are
+// replayable, not flaky.
+
+/// Node `node` dies (process crash: its in-memory state is lost) at `at`.
+/// With `rejoinAt` set the node restarts cold at that instant and must be
+/// rebalanced back in; without it the death is permanent.
+struct NodeKill {
+  int node = 0;
+  double at = 0.0;
+  std::optional<double> rejoinAt;
+};
+
+/// Symmetric link cut between endpoints `a` and `b` over [begin, end).
+/// Endpoint kRouterEndpoint (-1) is the router/client side, so a partition
+/// {kRouterEndpoint, n} isolates node n from traffic while it stays alive.
+struct LinkPartition {
+  int a = 0;
+  int b = 0;
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// Node `node` flaps over [begin, end): starting up, it alternates up for
+/// `period · upFraction` then down for the rest of each period. Flap-down is
+/// an outage (unreachable, heartbeats lost), not a crash — state survives.
+struct NodeFlap {
+  int node = 0;
+  double begin = 0.0;
+  double end = 0.0;
+  double period = 1.0;
+  double upFraction = 0.5;
+};
+
+/// Node `node` serves `factor`× slower over [begin, end) — responses arrive,
+/// late. Overlapping windows multiply.
+struct SlowNode {
+  int node = 0;
+  double begin = 0.0;
+  double end = 0.0;
+  double factor = 2.0;
+};
+
+/// The router/client endpoint in LinkPartition entries.
+inline constexpr int kRouterEndpoint = -1;
+
+/// Declarative node-level fault schedule for one cluster drill.
+/// Default-constructed plans are inert: enabled() is false and the cluster
+/// behaves like a perfect fleet.
+struct ClusterFaultPlan {
+  /// Seed of the fault stream (heartbeat-drop draws and backoff jitter).
+  std::uint64_t seed = 1;
+  /// Per-heartbeat probability that the router misses a node's heartbeat
+  /// even though the node is up — what makes suspicion states reachable
+  /// without an actual outage.
+  double heartbeatDropProbability = 0.0;
+  std::vector<NodeKill> kills;
+  std::vector<LinkPartition> partitions;
+  std::vector<NodeFlap> flaps;
+  std::vector<SlowNode> slowNodes;
+
+  bool enabled() const {
+    return heartbeatDropProbability > 0.0 || !kills.empty() ||
+           !partitions.empty() || !flaps.empty() || !slowNodes.empty();
+  }
+
+  /// Throws CheckError on out-of-range probabilities or node ids, inverted
+  /// windows, non-positive flap periods, or factors < 1. `nodeCount` bounds
+  /// the valid node ids.
+  void validate(int nodeCount) const;
+};
+
 /// Executes a FaultPlan. One injector serves one simulated run; drop draws
 /// and jitter consume the plan-seeded stream in event order, which the
 /// deterministic event queue makes reproducible.
@@ -150,6 +229,54 @@ class FaultInjector {
  private:
   FaultPlan plan_;
   Rng rng_;
+};
+
+/// Executes a ClusterFaultPlan: pure time queries for ground-truth node and
+/// link state, plus seeded draws (through an embedded FaultInjector, the
+/// same stream machinery the simulator uses) for heartbeat loss and retry
+/// jitter.
+class ClusterFaultInjector {
+ public:
+  /// Validates the plan against `nodeCount` nodes.
+  ClusterFaultInjector(const ClusterFaultPlan& plan, int nodeCount);
+
+  const ClusterFaultPlan& plan() const { return plan_; }
+
+  /// True when a NodeKill has `node` dead at `t` (killed, not yet rejoined).
+  bool killedAt(int node, double t) const;
+
+  /// Earliest rejoin instant scheduled for `node`, if a kill has one.
+  std::optional<double> rejoinTime(int node) const;
+
+  /// True when a flap window has `node` in a down phase at `t`.
+  bool flappedDownAt(int node, double t) const;
+
+  /// Ground truth: `node` is running and answering at `t` (neither killed
+  /// nor flapped down).
+  bool nodeUpAt(int node, double t) const {
+    return !killedAt(node, t) && !flappedDownAt(node, t);
+  }
+
+  /// Ground truth: the link between `a` and `b` (kRouterEndpoint for the
+  /// router side) carries traffic at `t`.
+  bool linkUpAt(int a, int b, double t) const;
+
+  /// Product of the slow-node factors active on `node` at `t` (1 when none).
+  double slowFactorAt(int node, double t) const;
+
+  /// Draws one Bernoulli(heartbeatDropProbability) decision.
+  bool dropHeartbeat() { return base_.dropHop(); }
+
+  /// The shared fault stream (retry backoff jitter draws).
+  Rng& rng() { return base_.rng(); }
+
+ private:
+  static FaultPlan streamPlanFor(const ClusterFaultPlan& plan);
+
+  ClusterFaultPlan plan_;
+  /// Seeded drop/jitter draws reuse the single-run injector unchanged: its
+  /// FaultPlan carries only the seed and the drop probability.
+  FaultInjector base_;
 };
 
 }  // namespace pushpart

@@ -91,7 +91,7 @@ class Deadline {
 };
 
 /// Shared cooperative-cancellation flag, optionally deadline-backed.
-/// cancelled() is true after any holder calls requestCancel() or once the
+/// cancelled() is true after any holder calls requestCancel() or once any
 /// attached deadline expires. Copies share one flag; a default-constructed
 /// token is live (cancellable) but inert until someone cancels it.
 class CancelToken {
@@ -106,24 +106,44 @@ class CancelToken {
   void requestCancel() { flag_->store(true, std::memory_order_release); }
 
   bool cancelled() const {
-    return flag_->load(std::memory_order_acquire) || deadline_.expired();
+    if (flag_->load(std::memory_order_acquire) || deadline_.expired())
+      return true;
+    for (const DeadlineLink* link = inherited_.get(); link != nullptr;
+         link = link->next.get())
+      if (link->deadline.expired()) return true;
+    return false;
   }
 
   const Deadline& deadline() const { return deadline_; }
 
-  /// A token sharing this token's flag but bound to `deadline` (replacing
-  /// any deadline this token carried). How the oracle merges a caller's
-  /// cancel flag with the per-call time budget before threading one token
-  /// into the solver.
+  /// A token sharing this token's flag, additionally bound to `deadline`.
+  /// This is a *merge*, never a replacement: every deadline the token
+  /// already carried keeps cancelling it — in particular, merging a fresh
+  /// budget onto a token whose own deadline has already expired must not
+  /// resurrect it. How the oracle combines a caller's cancel flag with the
+  /// per-call time budget, and how the cluster router layers per-attempt
+  /// budgets onto a caller token across replica retries.
   CancelToken withDeadline(const Deadline& deadline) const {
     CancelToken merged = *this;
+    if (!deadline_.isUnlimited())
+      merged.inherited_ =
+          std::make_shared<const DeadlineLink>(DeadlineLink{deadline_, inherited_});
     merged.deadline_ = deadline;
     return merged;
   }
 
  private:
+  /// Immutable chain of the deadlines superseded by withDeadline(). Shared
+  /// between copies (links are never mutated after construction), so a token
+  /// observed concurrently from retry paths stays race-free.
+  struct DeadlineLink {
+    Deadline deadline;
+    std::shared_ptr<const DeadlineLink> next;
+  };
+
   std::shared_ptr<std::atomic<bool>> flag_;
   Deadline deadline_;
+  std::shared_ptr<const DeadlineLink> inherited_;
 };
 
 }  // namespace pushpart

@@ -1,0 +1,352 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "support/check.hpp"
+
+namespace pushpart {
+namespace {
+
+/// Workload keys: distinct canonical fast-tier requests.
+PlanRequest keyRequest(int slot) {
+  PlanRequest req;
+  req.n = 100 + 3 * slot;
+  return req;
+}
+
+std::string keyText(int slot) { return canonicalize(keyRequest(slot)).text; }
+
+std::vector<int> ownersOf(const OracleCluster& cluster, int slot) {
+  return cluster.ring().ownersFor(canonicalize(keyRequest(slot)).hash,
+                                  cluster.options().replication);
+}
+
+bool eventLogged(const std::vector<ClusterEvent>& events,
+                 const std::string& needle) {
+  for (const ClusterEvent& e : events)
+    if (e.what.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+ClusterOptions baseOptions(const Clock& clock) {
+  ClusterOptions o;
+  o.clock = &clock;
+  return o;
+}
+
+TEST(ClusterOptionsTest, ValidationRejectsBadValues) {
+  const auto invalid = [](auto&& mutate) {
+    ClusterOptions o;
+    mutate(o);
+    EXPECT_THROW(o.validate(), CheckError);
+  };
+  invalid([](ClusterOptions& o) { o.nodes = 0; });
+  invalid([](ClusterOptions& o) { o.replication = 0; });
+  invalid([](ClusterOptions& o) { o.replication = o.nodes + 1; });
+  invalid([](ClusterOptions& o) { o.vnodesPerNode = 0; });
+  invalid([](ClusterOptions& o) { o.heartbeatIntervalSeconds = 0.0; });
+  invalid([](ClusterOptions& o) { o.suspectAfterSeconds = 0.01; });
+  invalid([](ClusterOptions& o) { o.confirmAfterSeconds = 0.1; });
+  invalid([](ClusterOptions& o) { o.segmentEntries = 0; });
+  EXPECT_NO_THROW(ClusterOptions{}.validate());
+}
+
+TEST(OracleClusterTest, PerfectFleetServesFromPrimaryAndReplicates) {
+  FakeClock clock;
+  OracleCluster cluster(baseOptions(clock));
+  cluster.tick();
+
+  const ClusterResponse first = cluster.plan(keyRequest(0));
+  EXPECT_FALSE(first.clusterShed);
+  EXPECT_EQ(first.servedBy, ownersOf(cluster, 0).front());
+  EXPECT_EQ(first.attempts, 1);
+  EXPECT_FALSE(first.replicaHit);
+  EXPECT_FALSE(first.response.cacheHit);
+
+  // The solve was replicated to the key's other owner at write time.
+  const auto census = cluster.replicaCounts();
+  ASSERT_TRUE(census.count(keyText(0)));
+  EXPECT_EQ(census.at(keyText(0)), cluster.options().replication);
+
+  // A repeat is a primary cache hit, not a replica hit.
+  const ClusterResponse second = cluster.plan(keyRequest(0));
+  EXPECT_TRUE(second.response.cacheHit);
+  EXPECT_EQ(second.servedBy, first.servedBy);
+  EXPECT_FALSE(second.replicaHit);
+
+  const ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.primaryServes, 2u);
+  EXPECT_EQ(stats.replicaServes, 0u);
+  EXPECT_EQ(stats.replicasWritten,
+            static_cast<std::uint64_t>(cluster.options().replication - 1));
+  EXPECT_EQ(stats.clusterSheds, 0u);
+  for (NodeStatus s : stats.statuses) EXPECT_EQ(s, NodeStatus::kUp);
+}
+
+TEST(OracleClusterTest, ReadYourReplicaWhileThePrimaryIsPartitioned) {
+  FakeClock clock;
+  // Compute the key's primary on an identical standalone ring so the
+  // partition can be scheduled before the cluster exists — ownership is a
+  // pure function of (nodes, vnodes, key), so the two rings agree.
+  const HashRing preview(3, 32);
+  const int primary =
+      preview.ownersFor(canonicalize(keyRequest(0)).hash, 2).front();
+
+  ClusterOptions options = baseOptions(clock);
+  options.faults.partitions.push_back(
+      LinkPartition{kRouterEndpoint, primary, 1.0, 10.0});
+  OracleCluster cluster(options);
+  cluster.tick();
+
+  // Warm the key while the fleet is whole: primary solves, replica receives.
+  ASSERT_EQ(cluster.plan(keyRequest(0)).servedBy, primary);
+
+  // Inside the partition window the primary is unreachable but *believed*
+  // up (no tick has run since, so no suspicion yet) — and the replica's
+  // cached copy answers anyway.
+  clock.advance(1.5);
+  const ClusterResponse during = cluster.plan(keyRequest(0));
+  EXPECT_FALSE(during.clusterShed);
+  EXPECT_NE(during.servedBy, primary);
+  EXPECT_TRUE(during.replicaHit);
+  EXPECT_TRUE(during.response.cacheHit);
+
+  const ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.replicaServes, 1u);
+  EXPECT_EQ(stats.replicaHits, 1u);
+
+  // A partitioned node's state survives: the census still counts both
+  // copies — nothing was lost, only unreachable.
+  EXPECT_EQ(cluster.replicaCounts().at(keyText(0)), 2);
+}
+
+TEST(OracleClusterTest, CensusDropsKilledStateButKeepsPartitionedState) {
+  FakeClock clock;
+  const HashRing preview(3, 32);
+  const auto owners = preview.ownersFor(canonicalize(keyRequest(0)).hash, 2);
+
+  ClusterOptions options = baseOptions(clock);
+  options.faults.kills.push_back(NodeKill{owners[1], 1.0, std::nullopt});
+  OracleCluster cluster(options);
+  cluster.tick();
+  cluster.plan(keyRequest(0));
+  EXPECT_EQ(cluster.replicaCounts().at(keyText(0)), 2);
+
+  // Kill the replica: its copy is gone from the census that instant —
+  // exactly the accounting a durability drill needs.
+  clock.advance(1.5);
+  EXPECT_EQ(cluster.replicaCounts().at(keyText(0)), 1);
+}
+
+TEST(OracleClusterTest, KillConfirmRejoinRestoresTheReplicationFactor) {
+  constexpr int kKeys = 16;
+  constexpr double kStep = 0.05;
+  FakeClock clock;
+  ClusterOptions options = baseOptions(clock);
+  options.faults.kills.push_back(NodeKill{1, 1.0, 2.0});
+  OracleCluster cluster(options);
+
+  // Warm phase [0, 1): every key solved and replicated while whole.
+  for (int step = 0; step < 19; ++step) {
+    cluster.tick();
+    EXPECT_FALSE(cluster.plan(keyRequest(step % kKeys)).clusterShed);
+    clock.advance(kStep);
+  }
+  for (int k = 0; k < kKeys; ++k)
+    ASSERT_EQ(cluster.replicaCounts().at(keyText(k)), 2) << "key " << k;
+
+  // Death phase [1, 2): the kill lands, suspicion then confirmation follow
+  // from missed heartbeats alone, and every request keeps being answered.
+  int answered = 0;
+  while (cluster.nowSeconds() < 2.0 - kStep / 2) {
+    cluster.tick();
+    if (!cluster.plan(keyRequest((answered * 7) % kKeys)).clusterShed)
+      ++answered;
+    clock.advance(kStep);
+  }
+  EXPECT_EQ(answered, 21);  // 100% availability through the outage
+  {
+    const ClusterStats mid = cluster.stats();
+    EXPECT_EQ(mid.statuses[1], NodeStatus::kDown);
+    EXPECT_EQ(mid.health[1], NodeHealth::kDown);
+    EXPECT_GE(mid.detector.suspicions, 1u);
+    EXPECT_GE(mid.detector.confirmations, 1u);
+    EXPECT_EQ(mid.coldRestarts[1], 1u);
+  }
+
+  // Recovery: the first tick at/after the rejoin instant hears the node,
+  // streams its share back segment by segment, and returns it to rotation.
+  cluster.tick();
+  const ClusterStats after = cluster.stats();
+  EXPECT_EQ(after.statuses[1], NodeStatus::kUp);
+  EXPECT_GE(after.detector.recoveries, 1u);
+  EXPECT_EQ(after.rebalance.rebalances, 1u);
+  EXPECT_GE(after.rebalance.segmentsStreamed, 1u);
+  EXPECT_GT(after.rebalance.entriesStreamed, 0u);
+
+  // Zero replicated entries lost; the replication factor is whole again.
+  for (int k = 0; k < kKeys; ++k)
+    EXPECT_EQ(cluster.replicaCounts().at(keyText(k)), 2) << "key " << k;
+
+  const auto events = cluster.events();
+  EXPECT_TRUE(eventLogged(events, "node 1 killed"));
+  EXPECT_TRUE(eventLogged(events, "node 1 suspected"));
+  EXPECT_TRUE(eventLogged(events, "node 1 confirmed down"));
+  EXPECT_TRUE(eventLogged(events, "node 1 rejoining"));
+  EXPECT_TRUE(eventLogged(events, "node 1 recovered"));
+  EXPECT_TRUE(eventLogged(events, "rebalance: node 1"));
+}
+
+TEST(OracleClusterTest, HintedHandoffDeliversParkedWritesOnRecovery) {
+  constexpr int kKeys = 12;
+  constexpr double kStep = 0.05;
+  FakeClock clock;
+  ClusterOptions options = baseOptions(clock);
+  // Node 1 is dead from the start; every key it owns that is solved during
+  // the outage becomes a parked hint instead of a replica write.
+  options.faults.kills.push_back(NodeKill{1, 0.0, 1.0});
+  OracleCluster cluster(options);
+
+  while (cluster.nowSeconds() < 1.0 - kStep / 2) {
+    cluster.tick();
+    for (int k = 0; k < kKeys; ++k)
+      EXPECT_FALSE(cluster.plan(keyRequest(k)).clusterShed);
+    clock.advance(kStep);
+  }
+  const ClusterStats before = cluster.stats();
+  ASSERT_GT(before.hintsStored, 0u);  // some keys are owned by node 1
+  EXPECT_EQ(before.hintsDelivered, 0u);
+  EXPECT_EQ(before.hintsDropped, 0u);
+
+  cluster.tick();  // rejoin instant: rebalance + hint delivery
+  const ClusterStats after = cluster.stats();
+  EXPECT_EQ(after.hintsDelivered, before.hintsStored);
+  EXPECT_EQ(after.hintsDropped, 0u);
+  EXPECT_TRUE(eventLogged(cluster.events(), "hints delivered"));
+  for (int k = 0; k < kKeys; ++k)
+    EXPECT_EQ(cluster.replicaCounts().at(keyText(k)), 2) << "key " << k;
+}
+
+TEST(OracleClusterTest, ShedsOnlyWhenEveryOwnerIsDown) {
+  FakeClock clock;
+  ClusterOptions options = baseOptions(clock);
+  for (int n = 0; n < options.nodes; ++n)
+    options.faults.kills.push_back(NodeKill{n, 0.0, std::nullopt});
+  OracleCluster cluster(options);
+
+  // Before confirmation the router still believes the fleet is up, tries
+  // every owner, and each attempt fails over — then sheds.
+  const ClusterResponse early = cluster.plan(keyRequest(0));
+  EXPECT_TRUE(early.clusterShed);
+  EXPECT_EQ(early.clusterShedReason, ClusterShedReason::kAllOwnersDown);
+  EXPECT_TRUE(early.response.shed);
+  EXPECT_EQ(early.servedBy, -1);
+  EXPECT_EQ(early.attempts, cluster.options().replication);
+
+  // After confirmation the owners are out of rotation: no attempts made.
+  clock.advance(0.5);
+  cluster.tick();
+  const ClusterResponse late = cluster.plan(keyRequest(0));
+  EXPECT_TRUE(late.clusterShed);
+  EXPECT_EQ(late.clusterShedReason, ClusterShedReason::kAllOwnersDown);
+  EXPECT_EQ(late.attempts, 0);
+  EXPECT_EQ(cluster.stats().clusterSheds, 2u);
+}
+
+TEST(OracleClusterTest, ShedReasonDistinguishesSheddingFromDownOwners) {
+  // One node, replication 1, one admission slot with no waiting room: while
+  // a cold solve holds the slot, a second request is load-shed by the
+  // *instance*, which the cluster reports as all-owners-shedding (the node
+  // was reachable and tried — different failure, different reason).
+  FakeClock clock;
+  ClusterOptions options = baseOptions(clock);
+  options.nodes = 1;
+  options.replication = 1;
+  options.oracle.admission.maxConcurrency = 1;
+  options.oracle.admission.maxQueue = 0;
+
+  std::atomic<bool> solveStarted{false};
+  std::atomic<bool> release{false};
+  options.oracle.onSolveStart = [&](const CanonicalKey&) {
+    solveStarted.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  };
+  OracleCluster cluster(options);
+  cluster.tick();
+
+  std::thread holder([&]() { cluster.plan(keyRequest(0)); });
+  while (!solveStarted.load(std::memory_order_acquire))
+    std::this_thread::yield();
+
+  const ClusterResponse shed = cluster.plan(keyRequest(1));
+  EXPECT_TRUE(shed.clusterShed);
+  EXPECT_EQ(shed.clusterShedReason, ClusterShedReason::kAllOwnersShedding);
+  EXPECT_EQ(shed.attempts, 1);
+
+  release.store(true, std::memory_order_release);
+  holder.join();
+  EXPECT_EQ(cluster.stats().clusterSheds, 1u);
+}
+
+TEST(OracleClusterTest, ConcurrentPlansAndTicksThroughAKillAreRaceFree) {
+  // The TSan target: router threads plan() (shared lock, per-attempt
+  // CancelToken layering via withDeadline) while the driver tick()s through
+  // a kill-confirm-rejoin cycle (exclusive lock, oracle swap, rebalance) and
+  // a caller cancels mid-flight. Assertions are deliberately coarse — the
+  // point is that every interleaving is clean under TSan and no request is
+  // silently dropped.
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 40;
+  constexpr int kKeys = 8;
+  FakeClock clock;
+  ClusterOptions options = baseOptions(clock);
+  options.faults.kills.push_back(NodeKill{1, 0.2, 0.7});
+  OracleCluster cluster(options);
+  cluster.tick();
+
+  CancelToken caller;
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> sheds{0};
+  std::vector<std::thread> routers;
+  for (int t = 0; t < kThreads; ++t) {
+    routers.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        PlanCallOptions call;
+        call.deadline = Deadline::after(10.0, clock);
+        call.cancel = caller.withDeadline(call.deadline);
+        const ClusterResponse r =
+            cluster.plan(keyRequest((t + 3 * i) % kKeys), call);
+        (r.clusterShed ? sheds : answered).fetch_add(1,
+                                                     std::memory_order_relaxed);
+        std::this_thread::yield();  // interleave with the ticking driver
+      }
+    });
+  }
+
+  for (int step = 0; step < 20; ++step) {
+    clock.advance(0.05);
+    cluster.tick();
+    if (step == 10) caller.requestCancel();
+    std::this_thread::yield();
+  }
+  for (std::thread& r : routers) r.join();
+
+  const ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(answered.load() + sheds.load(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  // The kill cycle completed underneath the traffic.
+  EXPECT_EQ(stats.coldRestarts[1], 1u);
+  EXPECT_EQ(stats.statuses[1], NodeStatus::kUp);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,117 @@
+#include "cluster/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace pushpart {
+namespace {
+
+/// The canonical key hash the router actually feeds the ring.
+std::uint64_t keyHashFor(int n) {
+  PlanRequest req;
+  req.n = n;
+  return canonicalize(req).hash;
+}
+
+TEST(HashRingTest, RejectsNonPositiveCounts) {
+  EXPECT_THROW(HashRing(0, 32), std::invalid_argument);
+  EXPECT_THROW(HashRing(-1, 32), std::invalid_argument);
+  EXPECT_THROW(HashRing(3, 0), std::invalid_argument);
+}
+
+TEST(HashRingTest, OwnersAreDistinctValidAndLedByThePrimary) {
+  const HashRing ring(5, 32);
+  for (int n = 20; n < 120; ++n) {
+    const auto owners = ring.ownersFor(keyHashFor(n), 3);
+    ASSERT_EQ(owners.size(), 3u);
+    std::set<int> distinct(owners.begin(), owners.end());
+    EXPECT_EQ(distinct.size(), 3u) << "duplicate owner for n=" << n;
+    for (int node : owners) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, 5);
+    }
+    // k=1 returns exactly the primary (the head of every longer list).
+    EXPECT_EQ(ring.ownersFor(keyHashFor(n), 1).front(), owners.front());
+  }
+}
+
+TEST(HashRingTest, KIsClampedToTheNodeCount) {
+  const HashRing ring(3, 16);
+  const auto owners = ring.ownersFor(keyHashFor(64), 99);
+  ASSERT_EQ(owners.size(), 3u);
+  EXPECT_EQ(std::set<int>(owners.begin(), owners.end()).size(), 3u);
+}
+
+TEST(HashRingTest, OwnershipIsDeterministicAcrossInstances) {
+  // Two rings with the same (nodeCount, vnodes) config agree on every key:
+  // the router, the rebalancer and the census all rebuild the same map.
+  const HashRing a(4, 32);
+  const HashRing b(4, 32);
+  for (int n = 20; n < 200; n += 7) {
+    const std::uint64_t h = keyHashFor(n);
+    EXPECT_EQ(a.ownersFor(h, 2), b.ownersFor(h, 2));
+  }
+}
+
+TEST(HashRingTest, OwnsMatchesOwnersFor) {
+  const HashRing ring(4, 32);
+  for (int n = 30; n < 90; ++n) {
+    const std::uint64_t h = keyHashFor(n);
+    const auto owners = ring.ownersFor(h, 2);
+    for (int node = 0; node < 4; ++node) {
+      const bool listed =
+          std::find(owners.begin(), owners.end(), node) != owners.end();
+      EXPECT_EQ(ring.owns(node, h, 2), listed);
+    }
+  }
+}
+
+TEST(HashRingTest, VirtualNodesSmoothThePrimaryShares) {
+  const HashRing ring(3, 64);
+  const auto shares = ring.primaryShares();
+  ASSERT_EQ(shares.size(), 3u);
+  const double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // With 64 vnodes per node every share lands well inside [1/6, 1/2] —
+  // loose enough to be seed-independent, tight enough to catch a broken
+  // point distribution (one node owning almost everything).
+  for (double s : shares) {
+    EXPECT_GT(s, 1.0 / 6.0);
+    EXPECT_LT(s, 1.0 / 2.0);
+  }
+}
+
+TEST(HashRingTest, MoreVnodesTightenTheSpread) {
+  // The whole point of virtual nodes: spread (max-min primary share)
+  // shrinks as vnodesPerNode grows.
+  const auto spread = [](const HashRing& ring) {
+    const auto shares = ring.primaryShares();
+    const auto [lo, hi] = std::minmax_element(shares.begin(), shares.end());
+    return *hi - *lo;
+  };
+  EXPECT_LT(spread(HashRing(4, 128)), spread(HashRing(4, 1)));
+}
+
+TEST(HashRingTest, KeysSpreadAcrossPrimaries) {
+  // Route a realistic key population; no node may be starved or dominant.
+  const HashRing ring(3, 32);
+  std::vector<int> perNode(3, 0);
+  const int keys = 300;
+  for (int i = 0; i < keys; ++i)
+    perNode[static_cast<std::size_t>(
+        ring.ownersFor(keyHashFor(20 + 3 * i), 1).front())]++;
+  for (int count : perNode) {
+    EXPECT_GT(count, keys / 10);
+    EXPECT_LT(count, keys * 6 / 10);
+  }
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "serve/oracle.hpp"
 
@@ -127,6 +129,74 @@ TEST(SnapshotTest, VersionMismatchRefusesTheWholeFile) {
   std::istringstream garbage("not a snapshot at all\n");
   EXPECT_THROW(loadPlanCacheSnapshot(restored, garbage), std::runtime_error);
   EXPECT_EQ(restored.counters().entries, 0u);
+}
+
+TEST(SnapshotTest, TryLoadReportsVersionRefusalWithoutThrowing) {
+  // The serving path (oracle warm start, CLI --snapshot) must survive a bad
+  // snapshot file: the try-variant reports the refusal instead of throwing,
+  // and the cache stays untouched.
+  PlanCache restored(64, 4);
+  std::istringstream future("pushpart-plancache v2\nentries 0\n");
+  const SnapshotLoadReport report = tryLoadPlanCacheSnapshot(restored, future);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.versionRefused);
+  EXPECT_NE(report.error.find("unsupported snapshot version"),
+            std::string::npos);
+  EXPECT_EQ(report.loaded, 0u);
+  EXPECT_EQ(restored.counters().entries, 0u);
+}
+
+TEST(SnapshotTest, TryLoadReportsAnUnreadablePathWithoutThrowing) {
+  PlanCache restored(64, 4);
+  const SnapshotLoadReport report = tryLoadPlanCacheSnapshot(
+      restored, testing::TempDir() + "/pushpart_no_such_file.snap");
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.versionRefused);  // unreadable, not wrong-version
+  EXPECT_FALSE(report.error.empty());
+  EXPECT_EQ(restored.counters().entries, 0u);
+}
+
+TEST(SnapshotTest, TryLoadOfAGoodSnapshotMatchesTheThrowingVariant) {
+  PlanCache cache(64, 4);
+  populate(cache, 3);
+  std::ostringstream os;
+  savePlanCacheSnapshot(cache, os);
+  PlanCache restored(64, 4);
+  std::istringstream in(os.str());
+  const SnapshotLoadReport report = tryLoadPlanCacheSnapshot(restored, in);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.loaded, 3u);
+  EXPECT_EQ(restored.counters().entries, 3u);
+}
+
+TEST(SnapshotTest, SegmentRoundTripsAnArbitraryEntrySubset) {
+  // A rebalance segment is a complete snapshot document over a hand-picked
+  // entry subset — loaded through the ordinary corruption-checked path.
+  PlanCache cache(64, 4);
+  populate(cache, 6);
+  std::vector<PlanCache::SnapshotEntry> all = cache.exportEntries();
+  ASSERT_EQ(all.size(), 6u);
+  const std::vector<PlanCache::SnapshotEntry> subset(all.begin(),
+                                                     all.begin() + 2);
+
+  std::ostringstream wire;
+  EXPECT_EQ(savePlanCacheSegment(subset, wire), 2u);
+  PlanCache receiver(64, 4);
+  std::istringstream in(wire.str());
+  const SnapshotLoadReport report = loadPlanCacheSnapshot(receiver, in);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.loaded, 2u);
+  EXPECT_EQ(receiver.counters().entries, 2u);
+  for (const PlanCache::SnapshotEntry& entry : subset) {
+    const auto exported = receiver.exportEntries();
+    EXPECT_TRUE(std::any_of(exported.begin(), exported.end(),
+                            [&](const PlanCache::SnapshotEntry& got) {
+                              return got.key == entry.key &&
+                                     got.answer == entry.answer;
+                            }))
+        << "segment entry " << entry.key << " missing after transfer";
+  }
 }
 
 TEST(SnapshotTest, PathRoundTripViaAtomicRename) {

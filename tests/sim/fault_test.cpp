@@ -304,6 +304,55 @@ TEST(SendReliableTest, AbandonsAfterMaxAttempts) {
   EXPECT_EQ(net.stats().transfersAbandoned, 1);
 }
 
+TEST(SendReliableTest, SingleAttemptExhaustionFailsAtTheDetectionInstant) {
+  // maxAttempts = 1 is pure exhaustion: one hop, one ack timeout, no retry
+  // and no backoff draw. The failure lands exactly when the sender learns of
+  // the loss — hop end (β·M = 5) plus the ack timeout (1).
+  EventQueue events;
+  FaultPlan plan;
+  plan.dropProbability = 1.0;
+  FaultInjector injector(plan);
+  Network net(events, flatMachine(), Topology::kFullyConnected, StarConfig{},
+              &injector);
+  RetryPolicy policy = unitPolicy();
+  policy.maxAttempts = 1;
+  TransferOutcome out;
+  net.sendReliable({Proc::R, Proc::P, 5}, 0.0, policy,
+                   [&](const TransferOutcome& o) { out = o; });
+  events.run();
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_DOUBLE_EQ(out.at, 6.0);
+  EXPECT_EQ(net.stats().retriesSent, 0);
+  EXPECT_EQ(net.stats().transfersAbandoned, 1);
+}
+
+TEST(SendReliableTest, ExhaustionFollowsTheCappedBackoffSchedule) {
+  // Total loss with zero jitter makes the whole retry schedule exact. Every
+  // attempt costs hop (5) + ack timeout (1); the backoffs between attempts
+  // are 0.5, 1.0, then the 2.0 ceiling twice — the cap must hold the last
+  // two retries at backoffMaxSeconds instead of 2.0 and 4.0:
+  //   abandon at 5 · 6 + (0.5 + 1.0 + 2.0 + 2.0) = 35.5.
+  EventQueue events;
+  FaultPlan plan;
+  plan.dropProbability = 1.0;
+  FaultInjector injector(plan);
+  Network net(events, flatMachine(), Topology::kFullyConnected, StarConfig{},
+              &injector);
+  RetryPolicy policy = unitPolicy();  // backoff 0.5, factor 2, cap 2.0
+  policy.maxAttempts = 5;
+  TransferOutcome out;
+  net.sendReliable({Proc::R, Proc::P, 5}, 0.0, policy,
+                   [&](const TransferOutcome& o) { out = o; });
+  events.run();
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.attempts, 5);
+  EXPECT_DOUBLE_EQ(out.at, 35.5);
+  EXPECT_EQ(net.stats().dropsInjected, 5);
+  EXPECT_EQ(net.stats().retriesSent, 4);
+  EXPECT_EQ(net.stats().transfersAbandoned, 1);
+}
+
 TEST(SendReliableTest, FailsFastOnADeadPeer) {
   EventQueue events;
   FaultPlan plan;
@@ -493,6 +542,142 @@ TEST(SimFaultTest, DeathAfterTheRunFinishesIsHarmless) {
     EXPECT_NEAR(result.execSeconds, baseline, baseline * 1e-9)
         << algoName(algo);
   }
+}
+
+// --------------------------------------------------------- cluster faults
+
+TEST(ClusterFaultPlanTest, DefaultPlanIsInert) {
+  ClusterFaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.validate(3);  // must not throw
+}
+
+TEST(ClusterFaultPlanTest, AnyFaultEnablesThePlan) {
+  ClusterFaultPlan killed;
+  killed.kills.push_back({1, 1.0, std::nullopt});
+  EXPECT_TRUE(killed.enabled());
+
+  ClusterFaultPlan cut;
+  cut.partitions.push_back({kRouterEndpoint, 2, 0.0, 1.0});
+  EXPECT_TRUE(cut.enabled());
+
+  ClusterFaultPlan flappy;
+  flappy.flaps.push_back({0, 0.0, 2.0, 0.5, 0.5});
+  EXPECT_TRUE(flappy.enabled());
+
+  ClusterFaultPlan lossy;
+  lossy.heartbeatDropProbability = 0.1;
+  EXPECT_TRUE(lossy.enabled());
+}
+
+TEST(ClusterFaultPlanTest, ValidationRejectsBadValues) {
+  ClusterFaultPlan plan;
+  plan.kills.push_back({3, 1.0, std::nullopt});  // node id out of range
+  EXPECT_THROW(plan.validate(3), CheckError);
+
+  plan = ClusterFaultPlan{};
+  plan.kills.push_back({0, 2.0, 1.0});  // rejoin before the kill
+  EXPECT_THROW(plan.validate(3), CheckError);
+
+  plan = ClusterFaultPlan{};
+  plan.partitions.push_back({1, 1, 0.0, 1.0});  // endpoints must differ
+  EXPECT_THROW(plan.validate(3), CheckError);
+
+  plan = ClusterFaultPlan{};
+  plan.partitions.push_back({kRouterEndpoint, 0, 2.0, 1.0});  // inverted
+  EXPECT_THROW(plan.validate(3), CheckError);
+
+  plan = ClusterFaultPlan{};
+  plan.flaps.push_back({0, 0.0, 2.0, 0.0, 0.5});  // non-positive period
+  EXPECT_THROW(plan.validate(3), CheckError);
+
+  plan = ClusterFaultPlan{};
+  plan.slowNodes.push_back({0, 0.0, 2.0, 0.5});  // factor < 1
+  EXPECT_THROW(plan.validate(3), CheckError);
+
+  plan = ClusterFaultPlan{};
+  plan.heartbeatDropProbability = 1.5;
+  EXPECT_THROW(plan.validate(3), CheckError);
+}
+
+TEST(ClusterFaultInjectorTest, KillWindowCoversKillToRejoin) {
+  ClusterFaultPlan plan;
+  plan.kills.push_back({1, 2.0, 5.0});
+  ClusterFaultInjector injector(plan, 3);
+  EXPECT_FALSE(injector.killedAt(1, 1.999));
+  EXPECT_TRUE(injector.killedAt(1, 2.0));
+  EXPECT_TRUE(injector.killedAt(1, 4.999));
+  EXPECT_FALSE(injector.killedAt(1, 5.0));  // rejoined
+  EXPECT_FALSE(injector.killedAt(0, 3.0));  // other nodes untouched
+  ASSERT_TRUE(injector.rejoinTime(1).has_value());
+  EXPECT_DOUBLE_EQ(*injector.rejoinTime(1), 5.0);
+  EXPECT_FALSE(injector.rejoinTime(0).has_value());
+}
+
+TEST(ClusterFaultInjectorTest, PermanentKillNeverRejoins) {
+  ClusterFaultPlan plan;
+  plan.kills.push_back({0, 1.0, std::nullopt});
+  ClusterFaultInjector injector(plan, 2);
+  EXPECT_TRUE(injector.killedAt(0, 1.0));
+  EXPECT_TRUE(injector.killedAt(0, 1e9));
+  EXPECT_FALSE(injector.rejoinTime(0).has_value());
+}
+
+TEST(ClusterFaultInjectorTest, FlapAlternatesUpThenDownEachPeriod) {
+  ClusterFaultPlan plan;
+  plan.flaps.push_back({2, 1.0, 3.0, 1.0, 0.5});
+  ClusterFaultInjector injector(plan, 3);
+  EXPECT_FALSE(injector.flappedDownAt(2, 0.5));   // before the window
+  EXPECT_FALSE(injector.flappedDownAt(2, 1.25));  // up half of period 1
+  EXPECT_TRUE(injector.flappedDownAt(2, 1.75));   // down half of period 1
+  EXPECT_FALSE(injector.flappedDownAt(2, 2.25));  // up half of period 2
+  EXPECT_TRUE(injector.flappedDownAt(2, 2.75));
+  EXPECT_FALSE(injector.flappedDownAt(2, 3.0));  // window end is exclusive
+  EXPECT_FALSE(injector.flappedDownAt(0, 1.75));
+  // Ground truth combines the fault kinds.
+  EXPECT_FALSE(injector.nodeUpAt(2, 1.75));
+  EXPECT_TRUE(injector.nodeUpAt(2, 2.25));
+}
+
+TEST(ClusterFaultInjectorTest, LinkPartitionIsSymmetricAndWindowed) {
+  ClusterFaultPlan plan;
+  plan.partitions.push_back({kRouterEndpoint, 1, 1.0, 2.0});
+  ClusterFaultInjector injector(plan, 3);
+  EXPECT_TRUE(injector.linkUpAt(kRouterEndpoint, 1, 0.5));
+  EXPECT_FALSE(injector.linkUpAt(kRouterEndpoint, 1, 1.5));
+  EXPECT_FALSE(injector.linkUpAt(1, kRouterEndpoint, 1.5));  // symmetric
+  EXPECT_TRUE(injector.linkUpAt(kRouterEndpoint, 1, 2.0));   // end exclusive
+  EXPECT_TRUE(injector.linkUpAt(kRouterEndpoint, 2, 1.5));   // other links up
+}
+
+TEST(ClusterFaultInjectorTest, SlowFactorsMultiplyInsideWindows) {
+  ClusterFaultPlan plan;
+  plan.slowNodes.push_back({0, 1.0, 3.0, 2.0});
+  plan.slowNodes.push_back({0, 2.0, 4.0, 3.0});
+  ClusterFaultInjector injector(plan, 2);
+  EXPECT_DOUBLE_EQ(injector.slowFactorAt(0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(injector.slowFactorAt(0, 1.5), 2.0);
+  EXPECT_DOUBLE_EQ(injector.slowFactorAt(0, 2.5), 6.0);  // overlap: 2·3
+  EXPECT_DOUBLE_EQ(injector.slowFactorAt(0, 3.5), 3.0);
+  EXPECT_DOUBLE_EQ(injector.slowFactorAt(1, 2.5), 1.0);
+}
+
+TEST(ClusterFaultInjectorTest, HeartbeatDropsAreSeedDeterministic) {
+  ClusterFaultPlan plan;
+  plan.seed = 41;
+  plan.heartbeatDropProbability = 0.5;
+  ClusterFaultInjector a(plan, 3), b(plan, 3);
+  bool anyDropped = false;
+  for (int i = 0; i < 64; ++i) {
+    const bool dropped = a.dropHeartbeat();
+    EXPECT_EQ(dropped, b.dropHeartbeat());
+    anyDropped = anyDropped || dropped;
+  }
+  EXPECT_TRUE(anyDropped);
+
+  plan.heartbeatDropProbability = 0.0;
+  ClusterFaultInjector never(plan, 3);
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(never.dropHeartbeat());
 }
 
 }  // namespace

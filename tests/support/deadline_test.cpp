@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <thread>
+#include <vector>
 
 namespace pushpart {
 namespace {
@@ -67,6 +69,50 @@ TEST(CancelTokenTest, DeadlineExpiryCancelsTheToken) {
   EXPECT_TRUE(token.cancelled());
 }
 
+TEST(CancelTokenTest, WithDeadlineDoesNotResurrectAnExpiredToken) {
+  FakeClock clock;
+  const CancelToken token{Deadline::after(1.0, clock)};
+  clock.advance(1.0);
+  ASSERT_TRUE(token.cancelled());
+  // Merging a fresh, generous budget onto an already-expired token must not
+  // un-cancel it: the router retry path layers a per-attempt deadline onto
+  // the caller's token, and an expired caller stays expired.
+  const CancelToken merged = token.withDeadline(Deadline::after(100.0, clock));
+  EXPECT_TRUE(merged.cancelled());
+  // The same holds for an unlimited replacement.
+  EXPECT_TRUE(token.withDeadline(Deadline::unlimited()).cancelled());
+}
+
+TEST(CancelTokenTest, WithDeadlineMergesBothLiveDeadlines) {
+  FakeClock clock;
+  const CancelToken token{Deadline::after(1.0, clock)};
+  const CancelToken merged = token.withDeadline(Deadline::after(5.0, clock));
+  EXPECT_FALSE(merged.cancelled());
+  // The inherited (earlier) deadline still cancels the merged token...
+  clock.advance(1.0);
+  EXPECT_TRUE(merged.cancelled());
+
+  // ...and with the order flipped, the new (earlier) deadline fires first
+  // while the original token waits for its own.
+  FakeClock clock2;
+  const CancelToken longToken{Deadline::after(5.0, clock2)};
+  const CancelToken shortened =
+      longToken.withDeadline(Deadline::after(1.0, clock2));
+  clock2.advance(1.0);
+  EXPECT_TRUE(shortened.cancelled());
+  EXPECT_FALSE(longToken.cancelled());
+}
+
+TEST(CancelTokenTest, ChainedWithDeadlineKeepsEveryDeadline) {
+  FakeClock clock;
+  const CancelToken base{Deadline::after(1.0, clock)};
+  const CancelToken twice = base.withDeadline(Deadline::after(10.0, clock))
+                                .withDeadline(Deadline::after(20.0, clock));
+  EXPECT_FALSE(twice.cancelled());
+  clock.advance(1.0);  // only the first (innermost) deadline has passed
+  EXPECT_TRUE(twice.cancelled());
+}
+
 TEST(CancelTokenTest, WithDeadlineKeepsTheSharedFlag) {
   FakeClock clock;
   CancelToken original;
@@ -83,6 +129,41 @@ TEST(CancelTokenTest, WithDeadlineKeepsTheSharedFlag) {
   clock.advance(1.0);
   EXPECT_TRUE(freshBounded.cancelled());
   EXPECT_FALSE(fresh.cancelled());
+}
+
+TEST(CancelTokenTest, ConcurrentObserversSeeMergedCopiesRaceFree) {
+  // The cluster router's retry loop re-derives a per-attempt token with
+  // withDeadline() while the solving thread polls the caller's original —
+  // exactly the shape this test drives under TSan: writers keep minting
+  // merged copies and observing them, readers keep polling cancelled() on
+  // the shared base, and one thread finally fires requestCancel().
+  FakeClock clock(50.0);
+  CancelToken base{Deadline::after(1000.0, clock)};
+  std::atomic<bool> stop{false};
+  std::atomic<int> sawCancel{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t]() {
+      while (!stop.load(std::memory_order_acquire)) {
+        // Each "retry attempt" layers its own budget onto the caller token.
+        const CancelToken attempt =
+            base.withDeadline(Deadline::after(1.0 + t, clock));
+        if (attempt.cancelled()) {
+          sawCancel.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+    });
+  }
+  std::thread poller([&]() {
+    while (!base.cancelled()) std::this_thread::yield();
+  });
+  base.requestCancel();
+  poller.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  EXPECT_TRUE(base.cancelled());
 }
 
 }  // namespace

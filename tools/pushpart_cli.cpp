@@ -10,6 +10,10 @@
 //                      [--bandwidth-mbs=1000] [--flops=1e9] [--repl]
 //                      [--deadline-ms=50] [--max-concurrency=4] [--max-queue=16]
 //                      [--snapshot=plans.snap]
+//   pushpart cluster   [--nodes=3] [--replication=2] [--vnodes=32] [--seed=1]
+//                      [--drill=kill|flap|partition|slow|none] [--node=1]
+//                      [--at=1.0] [--until=2.5] [--duration=4.0]
+//                      [--requests=400] [--keys=32] [--heartbeat-drop=0]
 //   pushpart commplan  --in=shape.pp [--csv=plan.csv]
 //   pushpart faults    --in=shape.pp --ratio=5:2:1 [--algo=SCB] [--drop=0.05]
 //                      [--death-proc=R] [--death-frac=0.5 | --death-at=<s>]
@@ -30,7 +34,15 @@
 // are cancelled cooperatively and served truncated or closed-form-only),
 // --max-concurrency/--max-queue bound admission (beyond them requests are
 // shed), and --snapshot warm-starts the answer cache from a file on entry
-// and persists it back (atomic rename) on exit; `faults` replays a saved
+// and persists it back (atomic rename) on exit, reporting exactly what
+// loaded (entries restored, corrupt entries skipped, version refusals — a
+// refused snapshot starts cold instead of aborting); `cluster` runs a
+// seeded, replayable fault drill against a replicated oracle cluster
+// (src/cluster): N nodes behind a consistent-hash router with k-way cache
+// replication, driven on a fake clock through one scripted fault (a node
+// kill with rejoin and rebalance, a flap, a router-link partition, or a
+// slow node) while a synthetic workload measures availability; `faults`
+// replays a saved
 // partition through the fault-injected simulator and reports the
 // retry/recovery behaviour next to the fault-free baseline; `verify` runs
 // the property-based verification suite (src/verify): push/DFA/serialize
@@ -45,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "dfa/dfa.hpp"
 #include "grid/builder.hpp"
 #include "grid/metrics.hpp"
@@ -78,6 +91,10 @@ int usage() {
       "            [--bandwidth-mbs=1000] [--flops=1e9] [--repl]\n"
       "            [--deadline-ms=50] [--max-concurrency=4] [--max-queue=16]\n"
       "            [--snapshot=plans.snap]\n"
+      "  cluster   [--nodes=3] [--replication=2] [--vnodes=32] [--seed=1]\n"
+      "            [--drill=kill|flap|partition|slow|none] [--node=1]\n"
+      "            [--at=1.0] [--until=2.5] [--duration=4.0]\n"
+      "            [--requests=400] [--keys=32] [--heartbeat-drop=0]\n"
       "  commplan  --in=shape.pp [--csv=plan.csv]\n"
       "  faults    --in=shape.pp --ratio=5:2:1 [--algo=SCB] [--drop=0.05]\n"
       "            [--death-proc=R] [--death-frac=0.5 | --death-at=<s>]\n"
@@ -286,15 +303,18 @@ int cmdPlanOracle(const Flags& flags) {
   const std::string snapshotPath = flags.str("snapshot", "");
   if (!snapshotPath.empty()) {
     // A missing file is a normal cold start; a corrupt entry costs itself
-    // only; a version mismatch (throw) aborts the command.
+    // only; a version-refused (future-format) snapshot starts cold too —
+    // either way the report says exactly what happened.
     std::ifstream probe(snapshotPath);
     if (probe) {
-      const SnapshotLoadReport report = oracle.loadSnapshot(snapshotPath);
-      std::printf("snapshot: restored %zu entries from %s", report.loaded,
-                  snapshotPath.c_str());
-      if (report.skipped > 0)
-        std::printf(" (%zu corrupt entries skipped)", report.skipped);
-      std::printf("\n");
+      probe.close();
+      const SnapshotLoadReport report = oracle.tryLoadSnapshot(snapshotPath);
+      if (!report.ok())
+        std::printf("snapshot: refused %s (%s); starting cold\n",
+                    snapshotPath.c_str(), report.error.c_str());
+      else
+        std::printf("snapshot: restored %zu entries from %s, skipped %zu\n",
+                    report.loaded, snapshotPath.c_str(), report.skipped);
     }
   }
   const auto persist = [&]() {
@@ -344,6 +364,119 @@ int cmdPlanOracle(const Flags& flags) {
   }
   printOracleStats(oracle.stats());
   persist();
+  return 0;
+}
+
+int cmdCluster(const Flags& flags) {
+  ClusterOptions options;
+  options.nodes = static_cast<int>(flags.i64("nodes", 3));
+  options.replication = static_cast<int>(flags.i64("replication", 2));
+  options.vnodesPerNode = static_cast<int>(flags.i64("vnodes", 32));
+  options.oracle.machine = machineFromFlags(flags, "5:2:1");
+  options.faults.seed = static_cast<std::uint64_t>(flags.i64("seed", 1));
+  options.faults.heartbeatDropProbability = flags.f64("heartbeat-drop", 0.0);
+
+  // One scripted fault per drill, all windows in cluster-clock seconds; the
+  // same flags replay the same drill bit-for-bit.
+  const int node = static_cast<int>(flags.i64("node", 1));
+  const double at = flags.f64("at", 1.0);
+  const double until = flags.f64("until", 2.5);
+  const double duration = flags.f64("duration", 4.0);
+  const std::string drill = flags.str("drill", "kill");
+  if (drill == "kill")
+    options.faults.kills.push_back(NodeKill{node, at, until});
+  else if (drill == "flap")
+    options.faults.flaps.push_back(NodeFlap{node, at, until, 0.4, 0.5});
+  else if (drill == "partition")
+    options.faults.partitions.push_back(
+        LinkPartition{kRouterEndpoint, node, at, until});
+  else if (drill == "slow")
+    options.faults.slowNodes.push_back(SlowNode{node, at, until, 4.0});
+  else if (drill != "none")
+    throw std::invalid_argument("unknown --drill=" + drill);
+
+  FakeClock clock;
+  options.clock = &clock;
+  OracleCluster cluster(options);
+
+  // Synthetic workload: `keys` distinct tier-A questions cycled round-robin,
+  // spread uniformly over the drill's ticks.
+  const std::int64_t totalRequests = flags.i64("requests", 400);
+  const std::int64_t keys = flags.i64("keys", 32);
+  const int ticks =
+      static_cast<int>(duration / options.heartbeatIntervalSeconds);
+  std::int64_t issued = 0;
+  std::uint64_t answered = 0;
+  for (int t = 0; t < ticks; ++t) {
+    cluster.tick();
+    const std::int64_t due = totalRequests * (t + 1) / ticks;
+    for (; issued < due; ++issued) {
+      PlanRequest req;
+      req.n = 100 + 3 * static_cast<int>(issued % keys);
+      req.ratio = options.oracle.machine.ratio;
+      const ClusterResponse r = cluster.plan(req);
+      if (!r.clusterShed) ++answered;
+    }
+    clock.advance(options.heartbeatIntervalSeconds);
+  }
+  cluster.tick();
+
+  std::printf("drill: %s node %d over [%g, %g)s  seed %llu  (%d nodes, "
+              "replication %d)\n",
+              drill.c_str(), node, at, until,
+              static_cast<unsigned long long>(options.faults.seed),
+              options.nodes, options.replication);
+  for (const ClusterEvent& event : cluster.events())
+    std::printf("  t=%.3fs %s\n", event.at, event.what.c_str());
+
+  const ClusterStats s = cluster.stats();
+  std::printf(
+      "requests: %llu answered %llu (%.2f%%), %llu cluster-shed\n",
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(answered),
+      s.requests > 0 ? 100.0 * static_cast<double>(answered) /
+                           static_cast<double>(s.requests)
+                     : 100.0,
+      static_cast<unsigned long long>(s.clusterSheds));
+  std::printf(
+      "routing: %llu primary, %llu replica (%llu replica cache hits), "
+      "%llu failed-over attempts\n",
+      static_cast<unsigned long long>(s.primaryServes),
+      static_cast<unsigned long long>(s.replicaServes),
+      static_cast<unsigned long long>(s.replicaHits),
+      static_cast<unsigned long long>(s.retries));
+  std::printf(
+      "replication: %llu replicas written, hints %llu stored / %llu "
+      "delivered / %llu dropped\n",
+      static_cast<unsigned long long>(s.replicasWritten),
+      static_cast<unsigned long long>(s.hintsStored),
+      static_cast<unsigned long long>(s.hintsDelivered),
+      static_cast<unsigned long long>(s.hintsDropped));
+  std::printf(
+      "detector: %llu suspicions, %llu confirmations, %llu recoveries; "
+      "rebalance: %llu runs, %llu segments, %llu entries\n",
+      static_cast<unsigned long long>(s.detector.suspicions),
+      static_cast<unsigned long long>(s.detector.confirmations),
+      static_cast<unsigned long long>(s.detector.recoveries),
+      static_cast<unsigned long long>(s.rebalance.rebalances),
+      static_cast<unsigned long long>(s.rebalance.segmentsStreamed),
+      static_cast<unsigned long long>(s.rebalance.entriesStreamed));
+  if (s.latency.count > 0)
+    std::printf("latency: n=%llu p50=%gus p95=%gus p99=%gus\n",
+                static_cast<unsigned long long>(s.latency.count),
+                s.latency.p50 * 1e6, s.latency.p95 * 1e6,
+                s.latency.p99 * 1e6);
+  for (int i = 0; i < options.nodes; ++i) {
+    const std::size_t slot = static_cast<std::size_t>(i);
+    std::printf(
+        "node %d: %s/%s, %zu cached, %llu hits, %llu misses, %llu cold "
+        "restarts\n",
+        i, nodeStatusName(s.statuses[slot]), nodeHealthName(s.health[slot]),
+        s.nodes[slot].cache.entries,
+        static_cast<unsigned long long>(s.nodes[slot].cache.hits),
+        static_cast<unsigned long long>(s.nodes[slot].cache.misses),
+        static_cast<unsigned long long>(s.coldRestarts[slot]));
+  }
   return 0;
 }
 
@@ -470,6 +603,7 @@ int main(int argc, char** argv) {
     if (command == "voc") return cmdVoc(flags);
     if (command == "recommend") return cmdRecommend(flags);
     if (command == "plan") return cmdPlanOracle(flags);
+    if (command == "cluster") return cmdCluster(flags);
     if (command == "commplan") return cmdCommPlan(flags);
     if (command == "faults") return cmdFaults(flags);
     if (command == "verify") return cmdVerify(flags);
