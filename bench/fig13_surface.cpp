@@ -10,9 +10,17 @@
 // (c) crossover P_r grows with R_r.
 //
 //   ./fig13_surface [--n=200] [--pmax=20] [--rmax=10] [--csv=path]
+//                   [--json=path]
+//
+// --json writes the same grid as a machine-diffable document (sorted keys,
+// %.17g doubles, one cell object per line) so the atlas builder's measured
+// surface (`pushpart atlas build`) can be differenced against these closed
+// forms point by point.
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "model/closed_form.hpp"
 #include "support/csv.hpp"
@@ -30,6 +38,16 @@ int main(int argc, char** argv) {
   if (flags.has("csv"))
     csv = CsvWriter(flags.str("csv", ""),
                     {"Pr", "Rr", "squareCornerVoC", "blockRectangleVoC"});
+
+  std::ofstream json;
+  if (flags.has("json")) {
+    json.open(flags.str("json", ""), std::ios::trunc);
+    if (!json)
+      throw std::runtime_error("cannot open --json=" + flags.str("json", ""));
+    json << "{\n  \"experiment\": \"fig13_surface\",\n  \"pmax\": " << pmax
+         << ",\n  \"rmax\": " << rmax << ",\n  \"cells\": [\n";
+  }
+  bool firstJsonCell = true;
 
   std::cout << "E3 (paper Fig. 13): SCB cost, Square-Corner (SC) vs "
                "Block-Rectangle (BR), S_r = 1\n"
@@ -50,6 +68,24 @@ int main(int argc, char** argv) {
       const double sc = closedFormVoC(CandidateShape::kSquareCorner, ratio);
       const double br = closedFormVoC(CandidateShape::kBlockRectangle, ratio);
       csv.row({static_cast<double>(p), static_cast<double>(r), sc, br});
+      if (json.is_open()) {
+        char cell[256];
+        // Infinity is not JSON: the SC-infeasible wall travels as null.
+        char scText[40];
+        if (std::isinf(sc))
+          std::snprintf(scText, sizeof(scText), "null");
+        else
+          std::snprintf(scText, sizeof(scText), "%.17g", sc);
+        std::snprintf(cell, sizeof(cell),
+                      "    {\"pr\": %d, \"rr\": %d, \"sc\": %s, "
+                      "\"br\": %.17g, \"winner\": \"%s\"}",
+                      p, r, scText, br,
+                      std::isinf(sc) ? "infeasible"
+                                     : (sc < br ? "Square-Corner"
+                                                : "Block-Rectangle"));
+        json << (firstJsonCell ? "" : ",\n") << cell;
+        firstJsonCell = false;
+      }
       if (std::isinf(sc)) {
         std::printf("  #");
       } else {
@@ -57,6 +93,23 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\n");
+  }
+
+  if (json.is_open()) {
+    json << "\n  ],\n  \"crossover\": [\n";
+    for (int r = 1; r <= rmax; ++r) {
+      char line[128];
+      std::snprintf(line, sizeof(line),
+                    "    {\"rr\": %d, \"pr\": %.17g, \"wall\": %.17g}%s\n", r,
+                    squareCornerCrossover(r, 1),
+                    2.0 * std::sqrt(static_cast<double>(r)),
+                    r < rmax ? "," : "");
+      json << line;
+    }
+    json << "  ]\n}\n";
+    if (!json)
+      throw std::runtime_error("write to --json file failed");
+    std::cout << "json surface written to " << flags.str("json", "") << "\n";
   }
 
   std::cout << "\nCrossover front (smallest P_r where SC beats BR):\n";

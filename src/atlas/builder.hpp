@@ -1,0 +1,54 @@
+// Offline atlas construction: solve every valid grid cell of the ratio
+// space once, snap near-tied winners, mark crossover boundaries.
+//
+// Each cell is an independent solve (the sweep is embarrassingly parallel,
+// like the paper's §VII cluster fan-out): rank the six canonical candidates
+// at the build granularity with the cell's ratio, optionally cross-check the
+// ranking with a budgeted tier-B DFA batch (seeded per cell, so a rebuild is
+// bit-reproducible regardless of thread interleaving), and record the
+// snapped winner plus its measured normalized VoC. Boundary flags are
+// derived afterwards from the complete winner map.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "atlas/atlas.hpp"
+
+namespace pushpart {
+
+struct AtlasBuildOptions {
+  AtlasGridSpec spec;
+  AtlasBuildInfo info;
+  /// Worker threads for the cell sweep. 0 = hardware_concurrency.
+  int threads = 0;
+  /// Progress hook: invoked (serialized) after each cell attempt with cells
+  /// done so far and the total to do.
+  std::function<void(std::size_t done, std::size_t total)> onCell;
+};
+
+struct AtlasBuildReport {
+  std::size_t attempted = 0;  ///< Valid cells in the grid.
+  std::size_t solved = 0;
+  std::size_t failed = 0;     ///< No feasible candidate (left unsolved).
+  std::size_t boundary = 0;   ///< Boundary-flagged cells after marking.
+  std::size_t searchConfirmed = 0;
+  double seconds = 0.0;
+};
+
+/// Solves one grid cell: ranked candidates, winner snapping per
+/// info.tieSnapPct, measured VoC / n², optional per-cell tier-B batch
+/// (seed = info.seed + cell index). Returns nullopt when no candidate is
+/// feasible at the cell's ratio. Exposed for the serving-time prefetcher,
+/// which must produce cells bit-identical to the offline builder's.
+std::optional<AtlasCell> solveAtlasCell(const AtlasGridSpec& spec,
+                                        const AtlasBuildInfo& info, int i,
+                                        int j);
+
+/// Builds a complete atlas: every valid cell solved (in parallel), then
+/// boundaries marked. Throws std::invalid_argument on a bad spec/info.
+std::shared_ptr<PlanAtlas> buildAtlas(const AtlasBuildOptions& options,
+                                      AtlasBuildReport* report = nullptr);
+
+}  // namespace pushpart

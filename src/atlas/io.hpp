@@ -1,0 +1,53 @@
+// Versioned, checksummed atlas persistence (the snapshot discipline of
+// serve/snapshot.hpp applied to the plan surface).
+//
+//   pushpart-atlas v1
+//   grid <prMin> <prMax> <prSteps> <rrMin> <rrMax> <rrSteps>
+//   info <n> <algo> <topology> <searchBacked> <searchRuns> <seed>
+//        <tieSnapPct> <alphaSeconds> <sendElementSeconds> <baseFlopSeconds>
+//   cells <count>
+//   c <fnv1a-16-hex> <i> <j> <boundary> <shape> <normVoc> <execSeconds>
+//        <runnerUpGapPct> <searchConfirmed> <origin>
+//
+// Doubles travel as %.17g, so build -> save -> load -> save is
+// byte-identical and a loaded cell certifies exactly like the freshly built
+// one. Writing is crash-safe (tmp + atomic rename). A wrong magic/version or
+// a malformed grid/info header refuses the whole file — guessing at a future
+// format would serve wrong plans silently. Per-cell corruption is tolerated:
+// a cell whose checksum or field ranges don't verify is skipped and counted,
+// and boundary flags are re-derived from the cells that did load, so the
+// atlas never claims knowledge a flipped byte destroyed.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "atlas/atlas.hpp"
+
+namespace pushpart {
+
+struct AtlasLoadReport {
+  std::shared_ptr<PlanAtlas> atlas;  ///< Null when the file was refused.
+  std::size_t loaded = 0;            ///< Cells restored.
+  std::size_t skipped = 0;           ///< Corrupt cells left behind.
+  bool versionRefused = false;
+  std::string error;  ///< Non-empty on refusal/unreadable file.
+
+  bool ok() const { return atlas != nullptr && error.empty(); }
+  /// Accepted and every cell verified.
+  bool clean() const { return ok() && skipped == 0; }
+};
+
+/// Serializes the atlas (solved cells only). The path variant writes
+/// <path>.tmp then renames atomically; both return cells written and throw
+/// std::runtime_error on I/O failure.
+std::size_t saveAtlas(const PlanAtlas& atlas, std::ostream& os);
+std::size_t saveAtlas(const PlanAtlas& atlas, const std::string& path);
+
+/// Non-throwing load: refusal and corruption come back in the report.
+AtlasLoadReport tryLoadAtlas(std::istream& is);
+AtlasLoadReport tryLoadAtlas(const std::string& path);
+
+}  // namespace pushpart

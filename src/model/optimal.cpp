@@ -33,4 +33,13 @@ RankedCandidate selectOptimal(Algo algo, int n, const Machine& machine,
   return ranked.front();
 }
 
+std::optional<RankedCandidate> rankOne(CandidateShape shape, Algo algo, int n,
+                                       const Machine& machine,
+                                       Topology topology, StarConfig star) {
+  if (!candidateFeasible(shape, n, machine.ratio)) return std::nullopt;
+  const Partition q = makeCandidate(shape, n, machine.ratio);
+  return RankedCandidate{shape, evalModel(algo, q, machine, topology, star),
+                         q.volumeOfCommunication()};
+}
+
 }  // namespace pushpart

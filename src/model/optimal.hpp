@@ -6,6 +6,7 @@
 // downstream API ("which partition should I use on this machine?").
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "model/models.hpp"
@@ -31,5 +32,13 @@ std::vector<RankedCandidate> rankCandidates(
 RankedCandidate selectOptimal(Algo algo, int n, const Machine& machine,
                               Topology topology = Topology::kFullyConnected,
                               StarConfig star = {});
+
+/// Re-costs one specific shape at exact request parameters without ranking
+/// the whole field — what the atlas certificate uses to check a precomputed
+/// winner against the ratio actually asked for. Returns nullopt when the
+/// shape is infeasible there.
+std::optional<RankedCandidate> rankOne(
+    CandidateShape shape, Algo algo, int n, const Machine& machine,
+    Topology topology = Topology::kFullyConnected, StarConfig star = {});
 
 }  // namespace pushpart

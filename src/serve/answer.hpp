@@ -67,6 +67,19 @@ struct PlanAnswer {
   /// candidate — the search *confirmed* the closed-form ranking.
   bool searchConfirmedCandidate = false;
 
+  // Atlas evidence: the answer was served from the precomputed plan surface
+  // (src/atlas) instead of a live tier-B batch. The shape/model/voc above
+  // were still re-costed at the *exact* requested ratio (the certificate),
+  // so the answer is deterministic and cacheable — atlasServed is a
+  // provenance mark, not a degradation.
+  bool atlasServed = false;
+  /// The certificate gap the serve accepted: max of the winner re-cost gap
+  /// and the surface interpolation gap, percent. Always <= the oracle's
+  /// configured bound when atlasServed.
+  double atlasCertGapPct = 0.0;
+  int atlasI = -1;  ///< Grid cell the answer came from (-1 when unused).
+  int atlasJ = -1;
+
   friend bool operator==(const PlanAnswer&, const PlanAnswer&) = default;
 };
 

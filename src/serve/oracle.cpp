@@ -1,5 +1,8 @@
 #include "serve/oracle.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "dfa/batch.hpp"
@@ -12,11 +15,28 @@ Oracle::Oracle(OracleOptions options)
     : options_(std::move(options)),
       cache_(options_.cacheCapacity, options_.cacheShards),
       admission_(options_.admission),
-      breaker_(options_.breaker) {}
+      breaker_(options_.breaker) {
+  if (options_.atlas && options_.atlasPrefetch)
+    prefetcher_ = std::make_unique<AtlasPrefetcher>(options_.atlas);
+}
+
+std::string OracleStats::sourcesLine() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "sources: atlas=%llu cache=%llu tier-A=%llu tier-B=%llu "
+                "shed=%llu",
+                static_cast<unsigned long long>(sourceAtlas),
+                static_cast<unsigned long long>(sourceCache),
+                static_cast<unsigned long long>(sourceTierA),
+                static_cast<unsigned long long>(sourceTierB),
+                static_cast<unsigned long long>(shed));
+  return buf;
+}
 
 PlanAnswer Oracle::solveCanonical(const CanonicalKey& key,
                                   const CancelToken& cancel,
-                                  bool consultBreaker) const {
+                                  bool consultBreaker,
+                                  bool consultAtlas) const {
   const PlanRequest& req = key.request;
   Machine machine = options_.machine;
   machine.ratio = req.ratio;
@@ -31,6 +51,68 @@ PlanAnswer Oracle::solveCanonical(const CanonicalKey& key,
   answer.voc = best.voc;
   answer.tier = req.tier;
   answer.servedTier = PlanTier::kFast;
+
+  // The atlas tier: between tier A (we already hold the exact closed-form
+  // winner) and tier B (the expensive batch this lookup exists to skip).
+  // Only search-tier requests consult it — for tier A the ranking above IS
+  // the full answer.
+  if (req.tier == PlanTier::kSearch && consultAtlas && options_.atlas) {
+    const AtlasLookup lk = options_.atlas->lookup(req.ratio);
+    if (!lk.hit) {
+      atlasMisses_.fetch_add(1, std::memory_order_relaxed);
+      // An unsolved cell is the one miss prefetch can cure: speculatively
+      // build its neighborhood so the next request in this region hits.
+      if (lk.miss == AtlasMissReason::kUnsolved && prefetcher_)
+        prefetcher_->enqueueNeighborhood(lk.i, lk.j);
+    } else {
+      // Certificate: (a) the cell's winner, re-costed at the *exact*
+      // requested (n, ratio), must model within the bound of the exact best
+      // (zero when the shapes agree — the common interior-cell case);
+      // (b) the interpolated surface value must agree with the winner's
+      // exact normalized VoC, bounding how far the request sits from the
+      // solved grid. Either failing means this ratio is not where the
+      // surface says it is — fall back to the live search.
+      bool certified = false;
+      RankedCandidate served = best;
+      double winnerGapPct = 0.0;
+      if (lk.shape != best.shape) {
+        if (std::optional<RankedCandidate> rc = rankOne(
+                lk.shape, req.algo, req.n, machine, req.topology, req.star)) {
+          served = *rc;
+          winnerGapPct = (rc->model.execSeconds - best.model.execSeconds) /
+                         best.model.execSeconds * 100.0;
+        } else {
+          winnerGapPct = AtlasCell::kMaxGapPct;  // Infeasible here: reject.
+        }
+      }
+      if (winnerGapPct <= options_.atlasGapPct) {
+        const double exactNorm =
+            static_cast<double>(served.voc) /
+            (static_cast<double>(req.n) * static_cast<double>(req.n));
+        const double surfaceGapPct =
+            exactNorm > 0.0
+                ? std::fabs(lk.interpNormVoc - exactNorm) / exactNorm * 100.0
+                : (lk.interpNormVoc > 0.0 ? AtlasCell::kMaxGapPct : 0.0);
+        if (surfaceGapPct <= options_.atlasGapPct) {
+          certified = true;
+          answer.shape = served.shape;
+          answer.model = served.model;
+          answer.voc = served.voc;
+          answer.atlasServed = true;
+          answer.atlasCertGapPct = std::max(winnerGapPct, surfaceGapPct);
+          answer.atlasI = lk.i;
+          answer.atlasJ = lk.j;
+          answer.searchConfirmedCandidate = lk.searchConfirmed;
+        }
+      }
+      if (certified) {
+        atlasServed_.fetch_add(1, std::memory_order_relaxed);
+        answer.solveSeconds = timer.seconds();
+        return answer;
+      }
+      atlasUncertified_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
   if (req.tier == PlanTier::kSearch) {
     if (consultBreaker && !breaker_.allowRequest()) {
@@ -105,7 +187,19 @@ PlanAnswer Oracle::solveCanonical(const CanonicalKey& key,
 PlanResponse Oracle::finishResponse(const CanonicalKey& key, PlanAnswer answer,
                                     bool hit, bool coalesced,
                                     const PlanCallOptions& call,
-                                    double latencySeconds) {
+                                    double latencySeconds,
+                                    bool freshFallback) {
+  // Per-source breakdown (the stats "sources:" line). Exactly one source
+  // per response; shed is counted at its own site in plan(), so atlas
+  // serves can never hide shed traffic.
+  if ((hit || coalesced) && !freshFallback)
+    sourceCache_.fetch_add(1, std::memory_order_relaxed);
+  else if (answer.atlasServed)
+    sourceAtlas_.fetch_add(1, std::memory_order_relaxed);
+  else if (answer.servedTier == PlanTier::kSearch)
+    sourceTierB_.fetch_add(1, std::memory_order_relaxed);
+  else
+    sourceTierA_.fetch_add(1, std::memory_order_relaxed);
   PlanResponse response;
   response.cacheHit = hit;
   response.coalesced = coalesced;
@@ -171,9 +265,12 @@ PlanResponse Oracle::plan(const PlanRequest& req,
       key,
       [this, &key, &solveCancel]() {
         if (options_.onSolveStart) options_.onSolveStart(key);
-        PlanAnswer answer =
-            solveCanonical(key, solveCancel, /*consultBreaker=*/true);
-        (answer.tier == PlanTier::kSearch ? tierBSolves_ : tierASolves_)
+        PlanAnswer answer = solveCanonical(key, solveCancel,
+                                           /*consultBreaker=*/true,
+                                           /*consultAtlas=*/true);
+        (answer.atlasServed
+             ? atlasSolves_
+             : answer.tier == PlanTier::kSearch ? tierBSolves_ : tierASolves_)
             .record(answer.solveSeconds);
         return answer;
       },
@@ -187,9 +284,11 @@ PlanResponse Oracle::plan(const PlanRequest& req,
     // attempted a search.
     CancelToken spent;
     spent.requestCancel();
-    PlanAnswer answer = solveCanonical(key, spent, /*consultBreaker=*/false);
+    PlanAnswer answer = solveCanonical(key, spent, /*consultBreaker=*/false,
+                                       /*consultAtlas=*/true);
     return finishResponse(key, std::move(answer), /*hit=*/false,
-                          /*coalesced=*/true, call, timer.seconds());
+                          /*coalesced=*/true, call, timer.seconds(),
+                          /*freshFallback=*/true);
   }
 
   return finishResponse(key, outcome.answer, outcome.hit, outcome.coalesced,
@@ -197,8 +296,10 @@ PlanResponse Oracle::plan(const PlanRequest& req,
 }
 
 PlanAnswer Oracle::solveUncached(const PlanRequest& req) const {
+  // No cache, no breaker, and no atlas: this is the live reference the
+  // verify subsystem's atlas-consistency property differentials against.
   return solveCanonical(canonicalize(req), CancelToken(),
-                        /*consultBreaker=*/false);
+                        /*consultBreaker=*/false, /*consultAtlas=*/false);
 }
 
 OracleStats Oracle::stats() const {
@@ -213,9 +314,18 @@ OracleStats Oracle::stats() const {
   s.noTimeForSearch = noTimeForSearch_.load(std::memory_order_relaxed);
   s.breakerOpenServes = breakerOpenServes_.load(std::memory_order_relaxed);
   s.late = late_.load(std::memory_order_relaxed);
+  s.atlasServed = atlasServed_.load(std::memory_order_relaxed);
+  s.atlasMisses = atlasMisses_.load(std::memory_order_relaxed);
+  s.atlasUncertified = atlasUncertified_.load(std::memory_order_relaxed);
+  if (options_.atlas) s.atlasCells = options_.atlas->counters();
+  s.sourceCache = sourceCache_.load(std::memory_order_relaxed);
+  s.sourceAtlas = sourceAtlas_.load(std::memory_order_relaxed);
+  s.sourceTierA = sourceTierA_.load(std::memory_order_relaxed);
+  s.sourceTierB = sourceTierB_.load(std::memory_order_relaxed);
   s.hitLatency = hitLatency_.snapshot();
   s.tierASolves = tierASolves_.snapshot();
   s.tierBSolves = tierBSolves_.snapshot();
+  s.atlasSolves = atlasSolves_.snapshot();
   return s;
 }
 

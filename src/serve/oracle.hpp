@@ -9,6 +9,13 @@
 //
 //   tier A (fast):   rank the six canonical candidates by modeled time
 //                    (model/optimal.hpp) and recommend the winner;
+//   atlas (lookup):  between tier A and tier B for search-tier requests —
+//                    when a precomputed plan surface (src/atlas) is
+//                    configured and the ratio lands on a solved,
+//                    off-boundary cell, re-cost the cell's winner at the
+//                    exact requested ratio and serve it iff the certificate
+//                    gap stays within the configured bound, skipping the
+//                    batch entirely;
 //   tier B (search): tier A plus a budgeted, seeded DFA batch
 //                    (dfa/batch.hpp) whose condensed finals cross-check the
 //                    candidate ranking, mirroring how the paper's §VII
@@ -26,9 +33,12 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "atlas/atlas.hpp"
+#include "atlas/prefetch.hpp"
 #include "model/machine.hpp"
 #include "serve/admission.hpp"
 #include "serve/answer.hpp"
@@ -59,6 +69,19 @@ struct OracleOptions {
   BreakerOptions breaker;
   /// How often a tier-B walk polls its cancel token, in applied pushes.
   std::int64_t cancelCheckEvery = 1024;
+  /// Precomputed plan surface (src/atlas). When set, a search-tier request
+  /// whose ratio lands on a solved, off-boundary cell is answered by
+  /// certified O(1) lookup instead of a live tier-B batch: the cell's
+  /// winner is re-costed at the exact requested ratio and accepted iff the
+  /// certificate gap (winner re-cost gap and surface interpolation gap)
+  /// stays within atlasGapPct. Null = no atlas tier.
+  std::shared_ptr<PlanAtlas> atlas;
+  /// Certificate acceptance bound, percent. An atlas answer whose
+  /// certificate gap exceeds this falls back to the live search.
+  double atlasGapPct = 5.0;
+  /// Speculatively solve the missed cell and its 4-neighborhood in the
+  /// background when a lookup lands on an unsolved cell.
+  bool atlasPrefetch = true;
   /// Observability hook: invoked at the start of every underlying (cold)
   /// solve with the canonical key. Runs on the solving thread, outside any
   /// cache lock. Also what makes coalescing deterministically testable.
@@ -128,9 +151,29 @@ struct OracleStats {
   std::uint64_t noTimeForSearch = 0;  ///< ... of which tier B never started.
   std::uint64_t breakerOpenServes = 0;  ///< ... short-circuited by the breaker.
   std::uint64_t late = 0;             ///< Full answers marked late.
+  // Atlas tier accounting. atlasServed counts certified answers; an
+  // uncertified lookup (winner mismatch or certificate gap beyond the
+  // bound) falls through to the live search and counts in atlasUncertified.
+  std::uint64_t atlasServed = 0;
+  std::uint64_t atlasMisses = 0;       ///< Lookup misses (no usable cell).
+  std::uint64_t atlasUncertified = 0;  ///< Hits the certificate rejected.
+  PlanAtlas::Counters atlasCells;      ///< The atlas's own lookup counters.
+  // Per-response source breakdown. Sums (with shed) to every plan() call:
+  // a response is exactly one of cache-served (hit or coalesced), atlas-
+  // certified, tier-B searched, tier-A closed-form, or shed — so the atlas
+  // tier can never mask shed accounting.
+  std::uint64_t sourceCache = 0;
+  std::uint64_t sourceAtlas = 0;
+  std::uint64_t sourceTierA = 0;
+  std::uint64_t sourceTierB = 0;
   LatencyHistogram::Snapshot hitLatency;    ///< plan() calls served by cache.
   LatencyHistogram::Snapshot tierASolves;   ///< Cold tier-A solve times.
   LatencyHistogram::Snapshot tierBSolves;   ///< Cold tier-B solve times.
+  LatencyHistogram::Snapshot atlasSolves;   ///< Atlas-certified cold serves.
+
+  /// The pinned one-line per-source breakdown shown by the CLI stats:
+  /// "sources: atlas=A cache=C tier-A=F tier-B=S shed=X".
+  std::string sourcesLine() const;
 };
 
 class Oracle {
@@ -196,32 +239,49 @@ class Oracle {
   const OracleOptions& options() const { return options_; }
 
  private:
-  /// The cold solve. `consultBreaker` is false on the solveUncached path.
-  /// Degradation (breaker open, no time, truncation) is recorded in the
-  /// returned answer; the ladder's accounting happens in plan().
+  /// The cold solve. `consultBreaker` and `consultAtlas` are false on the
+  /// solveUncached path — solveUncached is the atlas-bypassing live
+  /// reference the verify subsystem differentials against. Degradation
+  /// (breaker open, no time, truncation) is recorded in the returned
+  /// answer; the ladder's accounting happens in plan().
   PlanAnswer solveCanonical(const CanonicalKey& key, const CancelToken& cancel,
-                            bool consultBreaker) const;
+                            bool consultBreaker, bool consultAtlas) const;
 
   /// Builds the response for a non-shed answer: latency, lateness marking,
-  /// degradation counters.
+  /// degradation counters, per-source accounting. `freshFallback` marks the
+  /// coalesced-timeout path whose answer is a fresh solve, not the
+  /// leader's — it classifies by the answer, not as a cache serve.
   PlanResponse finishResponse(const CanonicalKey& key, PlanAnswer answer,
                               bool hit, bool coalesced,
                               const PlanCallOptions& call,
-                              double latencySeconds);
+                              double latencySeconds,
+                              bool freshFallback = false);
 
   OracleOptions options_;
   PlanCache cache_;
   mutable AdmissionController admission_;
   mutable CircuitBreaker breaker_;
+  /// Background neighborhood prefetch; non-null only when an atlas is
+  /// configured with atlasPrefetch. Mutable because the cold solve
+  /// (logically const) enqueues speculative work on a miss.
+  mutable std::unique_ptr<AtlasPrefetcher> prefetcher_;
   LatencyHistogram hitLatency_;
   LatencyHistogram tierASolves_;
   LatencyHistogram tierBSolves_;
+  LatencyHistogram atlasSolves_;
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> truncatedSearch_{0};
   std::atomic<std::uint64_t> noTimeForSearch_{0};
   std::atomic<std::uint64_t> breakerOpenServes_{0};
   std::atomic<std::uint64_t> late_{0};
+  mutable std::atomic<std::uint64_t> atlasServed_{0};
+  mutable std::atomic<std::uint64_t> atlasMisses_{0};
+  mutable std::atomic<std::uint64_t> atlasUncertified_{0};
+  std::atomic<std::uint64_t> sourceCache_{0};
+  std::atomic<std::uint64_t> sourceAtlas_{0};
+  std::atomic<std::uint64_t> sourceTierA_{0};
+  std::atomic<std::uint64_t> sourceTierB_{0};
 };
 
 }  // namespace pushpart

@@ -12,7 +12,11 @@ namespace pushpart {
 
 namespace {
 
-constexpr const char* kMagic = "pushpart-plancache v1";
+// v2 added the atlas provenance fields (atlasServed, atlasCertGapPct,
+// atlasI, atlasJ) to the payload; v1 files are refused — a silently
+// restored answer missing its provenance would misreport the sources
+// breakdown forever.
+constexpr const char* kMagic = "pushpart-plancache v2";
 
 std::string formatDouble(double v) {
   char buf[40];
@@ -20,7 +24,7 @@ std::string formatDouble(double v) {
   return buf;
 }
 
-/// The answer's 16 numeric fields, space-separated, in a fixed order the
+/// The answer's 20 numeric fields, space-separated, in a fixed order the
 /// loader mirrors. Booleans and enums travel as integers.
 std::string payloadFor(const PlanCache::SnapshotEntry& entry) {
   const PlanAnswer& a = entry.answer;
@@ -35,7 +39,9 @@ std::string payloadFor(const PlanCache::SnapshotEntry& entry) {
      << ' ' << formatDouble(a.solveSeconds) << ' ' << a.searchRuns << ' '
      << a.searchCompleted << ' ' << a.searchBestVoc << ' '
      << formatDouble(a.searchBestExecSeconds) << ' '
-     << (a.searchConfirmedCandidate ? 1 : 0);
+     << (a.searchConfirmedCandidate ? 1 : 0) << ' '
+     << (a.atlasServed ? 1 : 0) << ' ' << formatDouble(a.atlasCertGapPct)
+     << ' ' << a.atlasI << ' ' << a.atlasJ;
   return os.str();
 }
 
@@ -52,13 +58,14 @@ bool parsePayload(const std::string& payload,
                   PlanCache::SnapshotEntry& entry) {
   std::istringstream is(payload);
   int shape = -1, tier = -1, servedTier = -1, degrade = -1, truncated = -1,
-      confirmed = -1;
+      confirmed = -1, atlasServed = -1;
   PlanAnswer a;
   if (!(is >> entry.key >> shape >> a.model.commSeconds >>
         a.model.overlapSeconds >> a.model.compSeconds >>
         a.model.execSeconds >> a.voc >> tier >> servedTier >> degrade >>
         truncated >> a.solveSeconds >> a.searchRuns >> a.searchCompleted >>
-        a.searchBestVoc >> a.searchBestExecSeconds >> confirmed))
+        a.searchBestVoc >> a.searchBestExecSeconds >> confirmed >>
+        atlasServed >> a.atlasCertGapPct >> a.atlasI >> a.atlasJ))
     return false;
   std::string trailing;
   if (is >> trailing) return false;
@@ -69,12 +76,16 @@ bool parsePayload(const std::string& payload,
     return false;
   if (truncated < 0 || truncated > 1 || confirmed < 0 || confirmed > 1)
     return false;
+  if (atlasServed < 0 || atlasServed > 1) return false;
+  if (!(a.atlasCertGapPct >= 0.0)) return false;
+  if (a.atlasI < -1 || a.atlasJ < -1) return false;
   a.shape = static_cast<CandidateShape>(shape);
   a.tier = static_cast<PlanTier>(tier);
   a.servedTier = static_cast<PlanTier>(servedTier);
   a.degrade = static_cast<DegradeReason>(degrade);
   a.truncated = truncated == 1;
   a.searchConfirmedCandidate = confirmed == 1;
+  a.atlasServed = atlasServed == 1;
   entry.answer = a;
   return true;
 }

@@ -1,6 +1,7 @@
 #include "verify/invariants.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
@@ -311,6 +312,45 @@ CheckReport checkServeDegradation(Oracle& oracle, const PlanRequest& request) {
     report.add("serve.degradation",
                std::string("unhurried tier-B retry served tier ") +
                    planTierName(retry.answer.servedTier));
+  return report;
+}
+
+CheckReport checkAtlasConsistency(Oracle& oracle, const PlanRequest& request,
+                                  double gapPct) {
+  CheckReport report;
+  const PlanResponse r = oracle.plan(request);
+  if (r.shed || !r.answer.atlasServed)
+    return report;  // live/shed path: nothing the atlas must answer for
+  const PlanAnswer& a = r.answer;
+  if (a.atlasI < 0 || a.atlasJ < 0)
+    report.add("serve.atlas-consistency",
+               "atlas-served answer carries no cell coordinates");
+  if (a.atlasCertGapPct > gapPct)
+    report.add("serve.atlas-consistency",
+               "certificate gap " + std::to_string(a.atlasCertGapPct) +
+                   "% exceeds the configured bound " + std::to_string(gapPct) +
+                   "%");
+  if (!a.fullFidelity())
+    report.add("serve.atlas-consistency",
+               "atlas-served answer is marked degraded (" +
+                   std::string(degradeReasonName(a.degrade)) +
+                   ") — provenance must not cost fidelity");
+  // The live reference: same request, no cache, no breaker, no atlas.
+  const PlanAnswer live = oracle.solveUncached(request);
+  if (live.model.execSeconds > 0.0) {
+    const double diffPct =
+        std::abs(a.model.execSeconds - live.model.execSeconds) /
+        live.model.execSeconds * 100.0;
+    // Slack over the certificate bound: the certificate is checked against
+    // the closed-form best, while the live answer may differ by the model's
+    // integer-granularity rounding.
+    if (diffPct > gapPct + 0.5)
+      report.add("serve.atlas-consistency",
+                 "atlas-served modeled time " +
+                     std::to_string(a.model.execSeconds) + "s is " +
+                     std::to_string(diffPct) + "% from the live reference " +
+                     std::to_string(live.model.execSeconds) + "s");
+  }
   return report;
 }
 

@@ -102,6 +102,18 @@ CheckReport checkOracleTierAgreement(const Oracle& oracle,
 /// ("serve.degradation").
 CheckReport checkServeDegradation(Oracle& oracle, const PlanRequest& request);
 
+/// Atlas-consistency for the serving layer: serve `request` through an
+/// oracle configured with a plan-surface atlas, then re-solve it live
+/// (solveUncached bypasses cache, breaker and atlas). When the answer was
+/// atlas-served it must carry its certificate — cell coordinates, gap within
+/// `gapPct` — keep full fidelity (atlas provenance is not degradation), and
+/// its modeled execution time must agree with the live reference to within
+/// the certificate bound plus slack for the surface's build granularity
+/// ("serve.atlas-consistency"). Non-atlas answers pass vacuously: the
+/// fallback path is tier-agreement's job.
+CheckReport checkAtlasConsistency(Oracle& oracle, const PlanRequest& request,
+                                  double gapPct);
+
 /// Full replay of one checked-in counterexample file: load, counters,
 /// serialize round-trip, condensed-state dominance (ratio inferred from the
 /// grid). The regression gate for tests/corpus.

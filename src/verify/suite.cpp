@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "atlas/builder.hpp"
 #include "dfa/batch.hpp"
 #include "shapes/candidates.hpp"
 #include "verify/generators.hpp"
@@ -167,6 +168,47 @@ VerifySuiteReport runVerifySuite(const VerifySuiteOptions& options) {
           req.ratio = c.ratio;
           req.searchRuns = 2;
           return {checkServeDegradation(oracle, req), std::nullopt};
+        }));
+  }
+
+  // Atlas-consistency (DESIGN.md §14). One coarse surface serves seeded
+  // random ratios inside its span; every atlas-certified answer must carry
+  // its certificate and agree with the live tier-B reference
+  // (solveUncached) to within the bound. Prefetch is off so the surface the
+  // property sees is exactly the one built here.
+  {
+    AtlasBuildOptions atlasBuild;
+    atlasBuild.spec.prMin = 1.0;
+    atlasBuild.spec.prMax = 12.0;
+    atlasBuild.spec.prSteps = 12;
+    atlasBuild.spec.rrMin = 1.0;
+    atlasBuild.spec.rrMax = 6.0;
+    atlasBuild.spec.rrSteps = 6;
+    atlasBuild.info.n = 40;
+    atlasBuild.threads = 1;
+    OracleOptions atlasOptions;
+    atlasOptions.atlas = buildAtlas(atlasBuild);
+    atlasOptions.atlasPrefetch = false;
+    Oracle oracle(atlasOptions);
+    prop.iterations = 6 * scale;
+    prop.maxN = 20;
+    report.properties.push_back(runProperty(
+        "serve-atlas-consistency", prop,
+        [&](const FailingCase& c) -> PropertyRun {
+          Rng rng(c.seed);
+          PlanRequest req;
+          req.n = 24 + c.n;
+          // A seeded random ratio inside the atlas span (P_r >= R_r by
+          // construction); the grid case only contributes n and seed.
+          const double pr = 1.0 + 11.0 * rng.real();
+          const double rr = 1.0 + (std::min(pr, 6.0) - 1.0) * rng.real();
+          req.ratio = Ratio{pr, rr, 1.0};
+          req.tier = PlanTier::kSearch;
+          req.searchRuns = 2;
+          req.searchSeed = c.seed;
+          return {checkAtlasConsistency(oracle, req,
+                                        atlasOptions.atlasGapPct),
+                  std::nullopt};
         }));
   }
 

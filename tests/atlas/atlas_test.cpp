@@ -1,0 +1,189 @@
+#include "atlas/atlas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pushpart {
+namespace {
+
+AtlasGridSpec smallSpec() {
+  AtlasGridSpec spec;
+  spec.prMin = 1.0;
+  spec.prMax = 5.0;
+  spec.prSteps = 5;  // step 1 along P_r
+  spec.rrMin = 1.0;
+  spec.rrMax = 3.0;
+  spec.rrSteps = 3;  // step 1 along R_r
+  return spec;
+}
+
+AtlasCell solvedCell(CandidateShape shape, double normVoc = 1.25) {
+  AtlasCell cell;
+  cell.solved = true;
+  cell.shape = shape;
+  cell.normVoc = normVoc;
+  cell.execSeconds = 0.5;
+  return cell;
+}
+
+/// Fills every valid cell of `atlas` with one uniform winner.
+void fillUniform(PlanAtlas& atlas, CandidateShape shape) {
+  const AtlasGridSpec& spec = atlas.spec();
+  for (int i = 0; i < spec.prSteps; ++i)
+    for (int j = 0; j < spec.rrSteps; ++j)
+      if (spec.validCell(i, j)) atlas.insert(i, j, solvedCell(shape));
+}
+
+TEST(AtlasGridSpecTest, ValidateRejectsDegenerateGrids) {
+  AtlasGridSpec bad = smallSpec();
+  bad.prSteps = 1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = smallSpec();
+  bad.prMax = bad.prMin;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = smallSpec();
+  bad.rrMin = 0.0;  // speeds below 1 would put R_r under S_r = 1
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(smallSpec().validate());
+}
+
+TEST(AtlasGridSpecTest, CellsBelowTheDiagonalAreInvalid) {
+  const AtlasGridSpec spec = smallSpec();
+  // (i=0, j=2) is P_r=1, R_r=3: the canonical form needs P_r >= R_r.
+  EXPECT_FALSE(spec.validCell(0, 2));
+  EXPECT_TRUE(spec.validCell(2, 2));  // P_r=3, R_r=3
+  EXPECT_FALSE(spec.validCell(5, 0));  // out of range
+  EXPECT_FALSE(spec.validCell(-1, 0));
+}
+
+TEST(PlanAtlasTest, AssignRoundsHalfUpDeterministically) {
+  PlanAtlas atlas(smallSpec(), AtlasBuildInfo{});
+  int i = -1, j = -1;
+  // Exactly between grid points 2.0 and 3.0: round-half-up lands on 3.0.
+  ASSERT_TRUE(atlas.assign(Ratio{2.5, 1, 1}, i, j));
+  EXPECT_EQ(i, 2);
+  EXPECT_EQ(j, 0);
+  // Epsilon below the midpoint stays on the lower cell.
+  ASSERT_TRUE(atlas.assign(Ratio{2.4999999, 1, 1}, i, j));
+  EXPECT_EQ(i, 1);
+  // The span edges belong to the edge cells.
+  ASSERT_TRUE(atlas.assign(Ratio{5, 3, 1}, i, j));
+  EXPECT_EQ(i, 4);
+  EXPECT_EQ(j, 2);
+  ASSERT_TRUE(atlas.assign(Ratio{1, 1, 1}, i, j));
+  EXPECT_EQ(i, 0);
+  EXPECT_EQ(j, 0);
+}
+
+TEST(PlanAtlasTest, AssignNormalizesBeforeGridMath) {
+  PlanAtlas atlas(smallSpec(), AtlasBuildInfo{});
+  int a1 = -1, b1 = -1, a2 = -1, b2 = -1;
+  ASSERT_TRUE(atlas.assign(Ratio{3, 2, 1}, a1, b1));
+  ASSERT_TRUE(atlas.assign(Ratio{6, 4, 2}, a2, b2));  // same machine, scaled
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(b1, b2);
+}
+
+TEST(PlanAtlasTest, AssignRejectsRatiosOutsideTheSpan) {
+  PlanAtlas atlas(smallSpec(), AtlasBuildInfo{});
+  int i = -1, j = -1;
+  EXPECT_FALSE(atlas.assign(Ratio{50, 1, 1}, i, j));
+  EXPECT_FALSE(atlas.assign(Ratio{3, 3.9, 1}, i, j));
+}
+
+TEST(PlanAtlasTest, LookupReportsMissReasons) {
+  PlanAtlas atlas(smallSpec(), AtlasBuildInfo{});
+  // Nothing solved yet: an in-span ratio misses as unsolved, with the cell
+  // coordinates filled in so the prefetcher knows what to build.
+  AtlasLookup miss = atlas.lookup(Ratio{3, 2, 1});
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.miss, AtlasMissReason::kUnsolved);
+  EXPECT_EQ(miss.i, 2);
+  EXPECT_EQ(miss.j, 1);
+
+  AtlasLookup out = atlas.lookup(Ratio{50, 1, 1});
+  EXPECT_EQ(out.miss, AtlasMissReason::kOutOfRange);
+  EXPECT_EQ(out.i, -1);
+
+  const PlanAtlas::Counters c = atlas.counters();
+  EXPECT_EQ(c.lookups, 2u);
+  EXPECT_EQ(c.unsolved, 1u);
+  EXPECT_EQ(c.outOfRange, 1u);
+  EXPECT_EQ(c.hits, 0u);
+}
+
+TEST(PlanAtlasTest, BoundaryCellsAreNeverServed) {
+  PlanAtlas atlas(smallSpec(), AtlasBuildInfo{});
+  fillUniform(atlas, CandidateShape::kBlockRectangle);
+  // Flip one winner: it and its solved neighbors become boundary.
+  atlas.insert(4, 0, solvedCell(CandidateShape::kSquareCorner));
+  const AtlasLookup lk = atlas.lookup(Ratio{5, 1, 1});
+  EXPECT_FALSE(lk.hit);
+  EXPECT_EQ(lk.miss, AtlasMissReason::kBoundary);
+  EXPECT_TRUE(atlas.cell(4, 0)->boundary);
+  EXPECT_TRUE(atlas.cell(3, 0)->boundary);
+  EXPECT_TRUE(atlas.cell(4, 1)->boundary);
+  // Two cells away the front is invisible.
+  EXPECT_FALSE(atlas.cell(2, 0)->boundary);
+  EXPECT_EQ(atlas.boundaryCells().size(), 3u);
+}
+
+TEST(PlanAtlasTest, InsertRederivesBoundariesBothWays) {
+  PlanAtlas atlas(smallSpec(), AtlasBuildInfo{});
+  fillUniform(atlas, CandidateShape::kBlockRectangle);
+  atlas.insert(4, 0, solvedCell(CandidateShape::kSquareCorner));
+  ASSERT_TRUE(atlas.cell(3, 0)->boundary);
+  // Re-inserting the uniform winner heals the front.
+  atlas.insert(4, 0, solvedCell(CandidateShape::kBlockRectangle));
+  EXPECT_FALSE(atlas.cell(3, 0)->boundary);
+  EXPECT_FALSE(atlas.cell(4, 0)->boundary);
+  EXPECT_TRUE(atlas.boundaryCells().empty());
+}
+
+TEST(PlanAtlasTest, InsertRejectsInvalidCells) {
+  PlanAtlas atlas(smallSpec(), AtlasBuildInfo{});
+  EXPECT_THROW(atlas.insert(0, 2, solvedCell(CandidateShape::kSquareCorner)),
+               std::invalid_argument);
+  EXPECT_THROW(atlas.insert(9, 0, solvedCell(CandidateShape::kSquareCorner)),
+               std::invalid_argument);
+}
+
+TEST(PlanAtlasTest, BilinearInterpolationNeedsFourAgreeingCorners) {
+  PlanAtlas atlas(smallSpec(), AtlasBuildInfo{});
+  fillUniform(atlas, CandidateShape::kBlockRectangle);
+  // Distinct corner values: interpolation must blend, not snap.
+  atlas.insert(2, 0, solvedCell(CandidateShape::kBlockRectangle, 1.0));
+  atlas.insert(3, 0, solvedCell(CandidateShape::kBlockRectangle, 2.0));
+  atlas.insert(2, 1, solvedCell(CandidateShape::kBlockRectangle, 3.0));
+  atlas.insert(3, 1, solvedCell(CandidateShape::kBlockRectangle, 4.0));
+
+  const AtlasLookup mid = atlas.lookup(Ratio{3.5, 1.5, 1});
+  ASSERT_TRUE(mid.hit);
+  EXPECT_TRUE(mid.bilinear);
+  EXPECT_NEAR(mid.interpNormVoc, 2.5, 1e-12);  // the four-corner average
+
+  // Disagreeing corners: fall back to the assigned cell's own value. The
+  // flipped corner (2,0) sits in the interpolation quad of 3.6:1.6:1 but the
+  // assigned cell (3,1) stays off the new front.
+  atlas.insert(2, 0, solvedCell(CandidateShape::kSquareRectangle, 1.0));
+  const AtlasLookup nearest = atlas.lookup(Ratio{3.6, 1.6, 1});
+  ASSERT_TRUE(nearest.hit) << "assigned cell (3,1) is off the new front";
+  EXPECT_FALSE(nearest.bilinear);
+  EXPECT_NEAR(nearest.interpNormVoc, 4.0, 1e-12);
+}
+
+TEST(PlanAtlasTest, HitCountersTrack) {
+  PlanAtlas atlas(smallSpec(), AtlasBuildInfo{});
+  fillUniform(atlas, CandidateShape::kBlockRectangle);
+  ASSERT_TRUE(atlas.lookup(Ratio{3, 2, 1}).hit);
+  ASSERT_TRUE(atlas.lookup(Ratio{4, 2, 1}).hit);
+  const PlanAtlas::Counters c = atlas.counters();
+  EXPECT_EQ(c.lookups, 2u);
+  EXPECT_EQ(c.hits, 2u);
+  EXPECT_EQ(c.inserts, 12u);  // 12 valid cells in the 5x3 grid
+  EXPECT_EQ(atlas.solvedCells(), 12u);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -1,0 +1,89 @@
+// Differential check of the atlas surface against the closed forms: every
+// solved cell's stored normalized VoC (measured on the discrete grid at the
+// build granularity) must track closedFormVoC(winner, ratioAt) to the O(1/n)
+// rounding the continuous derivation allows. A drift here means the surface
+// the oracle certifies against no longer describes the partitions it serves.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "atlas/builder.hpp"
+#include "model/closed_form.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(AtlasDifferentialTest, StoredSurfaceTracksClosedForms) {
+  AtlasBuildOptions options;
+  options.spec.prMin = 1.0;
+  options.spec.prMax = 20.0;
+  options.spec.prSteps = 20;
+  options.spec.rrMin = 1.0;
+  options.spec.rrMax = 10.0;
+  options.spec.rrSteps = 10;
+  options.info.n = 96;
+  options.threads = 1;
+  AtlasBuildReport report;
+  const auto atlas = buildAtlas(options, &report);
+  ASSERT_GT(report.solved, 0u);
+
+  std::size_t checked = 0;
+  double worst = 0.0;
+  for (int i = 0; i < options.spec.prSteps; ++i)
+    for (int j = 0; j < options.spec.rrSteps; ++j) {
+      if (!options.spec.validCell(i, j)) continue;
+      const AtlasCell cell = *atlas->cell(i, j);
+      ASSERT_TRUE(cell.solved);
+      const Ratio at = options.spec.ratioAt(i, j);
+      const double closed = closedFormVoC(cell.shape, at);
+      ASSERT_TRUE(std::isfinite(closed))
+          << "cell (" << i << "," << j << ") won with a shape the closed "
+          << "form calls infeasible";
+      // Discretization error: integer row/column splits at n = 96 shift
+      // each sub-rectangle edge by up to one grid line.
+      const double diff = std::fabs(cell.normVoc - closed);
+      EXPECT_LE(diff, 0.08)
+          << "cell (" << i << "," << j << ") at " << at.p << ":" << at.r
+          << ":1 stored " << cell.normVoc << " vs closed form " << closed;
+      worst = std::max(worst, diff);
+      ++checked;
+    }
+  EXPECT_EQ(checked, report.solved);
+  // The sweep should not be uniformly at the tolerance edge either.
+  EXPECT_LT(worst, 0.08);
+}
+
+TEST(AtlasDifferentialTest, WinnerBeatsEveryFeasibleRival) {
+  // The stored winner must be no worse (in closed form) than any rival
+  // outside its tie group, up to the snap tolerance plus discretization.
+  AtlasBuildOptions options;
+  options.spec.prMin = 2.0;
+  options.spec.prMax = 14.0;
+  options.spec.prSteps = 7;
+  options.spec.rrMin = 1.0;
+  options.spec.rrMax = 4.0;
+  options.spec.rrSteps = 4;
+  options.info.n = 96;
+  options.threads = 1;
+  const auto atlas = buildAtlas(options);
+  for (int i = 0; i < options.spec.prSteps; ++i)
+    for (int j = 0; j < options.spec.rrSteps; ++j) {
+      if (!options.spec.validCell(i, j)) continue;
+      const AtlasCell cell = *atlas->cell(i, j);
+      const Ratio at = options.spec.ratioAt(i, j);
+      const double winner = closedFormVoC(cell.shape, at);
+      for (int c = 0; c < kNumCandidates; ++c) {
+        const double rival =
+            closedFormVoC(static_cast<CandidateShape>(c), at);
+        if (!std::isfinite(rival)) continue;
+        EXPECT_LE(winner, rival * 1.05 + 0.08)
+            << "cell (" << i << "," << j << ") serves "
+            << candidateName(cell.shape) << " but "
+            << candidateName(static_cast<CandidateShape>(c))
+            << " is closed-form cheaper at " << at.p << ":" << at.r << ":1";
+      }
+    }
+}
+
+}  // namespace
+}  // namespace pushpart

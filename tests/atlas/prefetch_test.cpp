@@ -1,0 +1,101 @@
+#include "atlas/prefetch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "atlas/builder.hpp"
+
+namespace pushpart {
+namespace {
+
+AtlasGridSpec smallSpec() {
+  AtlasGridSpec spec;
+  spec.prMin = 1.0;
+  spec.prMax = 6.0;
+  spec.prSteps = 6;
+  spec.rrMin = 1.0;
+  spec.rrMax = 3.0;
+  spec.rrSteps = 3;
+  return spec;
+}
+
+AtlasBuildInfo smallInfo() {
+  AtlasBuildInfo info;
+  info.n = 48;
+  return info;
+}
+
+/// Spins until the prefetcher has solved `want` cells (generous deadline —
+/// the worker thread shares one core with the test on CI).
+void waitForSolved(const AtlasPrefetcher& prefetcher, std::uint64_t want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (prefetcher.counters().solved < want &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_GE(prefetcher.counters().solved, want) << "prefetch worker stalled";
+}
+
+TEST(AtlasPrefetchTest, PrefetchedCellsMatchTheOfflineBuilder) {
+  const auto atlas =
+      std::make_shared<PlanAtlas>(smallSpec(), smallInfo());
+  AtlasPrefetcher prefetcher(atlas);
+  // Center (2,1) plus its four valid neighbors — all unsolved, all queued.
+  prefetcher.enqueueNeighborhood(2, 1);
+  waitForSolved(prefetcher, 5);
+  prefetcher.stop();
+
+  EXPECT_EQ(prefetcher.counters().requested, 5u);
+  EXPECT_EQ(prefetcher.counters().dropped, 0u);
+  const std::pair<int, int> cells[] = {{2, 1}, {1, 1}, {3, 1}, {2, 0}, {2, 2}};
+  for (const auto& [i, j] : cells) {
+    const auto got = atlas->cell(i, j);
+    ASSERT_TRUE(got.has_value() && got->solved)
+        << "cell (" << i << "," << j << ") not prefetched";
+    // Bit-identical to the offline builder's answer, modulo provenance.
+    AtlasCell expected = *solveAtlasCell(smallSpec(), smallInfo(), i, j);
+    expected.origin = CellOrigin::kPrefetched;
+    expected.boundary = got->boundary;  // depends on which neighbors landed
+    EXPECT_EQ(*got, expected);
+  }
+}
+
+TEST(AtlasPrefetchTest, SolvedCellsAreNotRequeued) {
+  const auto atlas =
+      std::make_shared<PlanAtlas>(smallSpec(), smallInfo());
+  AtlasPrefetcher prefetcher(atlas);
+  prefetcher.enqueueNeighborhood(4, 2);
+  // (4,2) with neighbors (3,2), (5,2), (4,1): all valid. 4 cells.
+  waitForSolved(prefetcher, 4);
+  const std::uint64_t requested = prefetcher.counters().requested;
+  prefetcher.enqueueNeighborhood(4, 2);  // everything already solved
+  prefetcher.stop();
+  EXPECT_EQ(prefetcher.counters().requested, requested);
+}
+
+TEST(AtlasPrefetchTest, LookupsRaceSafelyWithInserts) {
+  // Concurrent serving lookups while the worker inserts cells: the
+  // shared_mutex discipline must hold under TSan.
+  const auto atlas =
+      std::make_shared<PlanAtlas>(smallSpec(), smallInfo());
+  AtlasPrefetcher prefetcher(atlas);
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 3; ++j)
+      if (smallSpec().validCell(i, j)) prefetcher.enqueueNeighborhood(i, j);
+  std::uint64_t hits = 0;
+  for (int round = 0; round < 200; ++round) {
+    const double pr = 1.0 + (round % 50) * 0.1;
+    if (atlas->lookup(Ratio{pr, 1.0, 1.0}).hit) ++hits;
+  }
+  waitForSolved(prefetcher, 15);  // 15 valid cells in the 6x3 grid
+  prefetcher.stop();
+  EXPECT_EQ(atlas->counters().lookups, 200u);
+  EXPECT_EQ(atlas->solvedCells(), 15u);
+  (void)hits;
+}
+
+}  // namespace
+}  // namespace pushpart

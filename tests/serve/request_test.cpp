@@ -123,6 +123,63 @@ TEST(CanonicalizeTest, DistinctQuestionsKeepDistinctKeys) {
   EXPECT_NE(k, canonicalize(byTopo).text);
 }
 
+// --- Near-boundary and degenerate ratios (the atlas-lookup feeders) -------
+// Atlas cell assignment consumes the canonicalized ratio; these pin the
+// behaviors its determinism relies on.
+
+TEST(CanonicalizeTest, NearEqualPrAndRrStayOrderedAndStable) {
+  // P_r ≈ R_r sits right on the canonical-form edge (P must be fastest).
+  // Within %.6g resolution the noise folds onto the exact 3:3:1 key...
+  PlanRequest exact;
+  exact.ratio = Ratio{3, 3, 1};
+  PlanRequest noisy = exact;
+  noisy.ratio = Ratio{3.0000001, 3, 1};
+  EXPECT_EQ(canonicalize(exact).text, canonicalize(noisy).text);
+  // ...while a difference %.6g can resolve keeps its own key.
+  PlanRequest distinct = exact;
+  distinct.ratio = Ratio{3.0001, 3, 1};
+  EXPECT_NE(canonicalize(exact).text, canonicalize(distinct).text);
+}
+
+TEST(CanonicalizeTest, ExtremeSkewRoundTripsThroughTheKey) {
+  // 1000:1:1 — the far-corner heterogeneity the paper's Fig. 13 axis ends
+  // well before. The key must carry it exactly (no overflow into
+  // scientific-notation mismatches between equal requests).
+  PlanRequest a;
+  a.ratio = Ratio{1000, 1, 1};
+  PlanRequest b;
+  b.ratio = Ratio{3000, 3, 3};
+  const CanonicalKey ka = canonicalize(a);
+  EXPECT_EQ(ka.text, canonicalize(b).text);
+  EXPECT_EQ(ka.request.ratio, (Ratio{1000, 1, 1}));
+}
+
+TEST(CanonicalizeTest, NearEqualRrAndSrSwapDeterministically) {
+  // r ≈ s: whichever label is (even marginally) faster must land in the R
+  // slot, and two requests that %.6g-round to the same ratio must share a
+  // key regardless of which side of the swap they arrived on.
+  PlanRequest a;
+  a.ratio = Ratio{5, 2.0000001, 2};
+  PlanRequest b;
+  b.ratio = Ratio{5, 2, 2.0000001};
+  EXPECT_EQ(canonicalize(a).text, canonicalize(b).text);
+  const Ratio canon = canonicalize(a).request.ratio;
+  EXPECT_GE(canon.r, canon.s);
+}
+
+TEST(CanonicalizeTest, CanonicalRatioIsIdempotent) {
+  // Canonicalizing a canonicalized request must be the identity — the %.6g
+  // rounding cannot drift a key under re-canonicalization (the oracle
+  // re-derives keys from canonical requests in solveUncached).
+  PlanRequest req;
+  req.ratio = Ratio{10.0 / 3.0, 7.0 / 3.0, 1.0000004};
+  const CanonicalKey once = canonicalize(req);
+  const CanonicalKey twice = canonicalize(once.request);
+  EXPECT_EQ(once.text, twice.text);
+  EXPECT_EQ(once.request.ratio, twice.request.ratio);
+  EXPECT_EQ(once.hash, twice.hash);
+}
+
 TEST(Fnv1aTest, MatchesReferenceVectors) {
   // Published FNV-1a 64-bit test vectors.
   EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);

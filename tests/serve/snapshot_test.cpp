@@ -124,7 +124,7 @@ TEST(SnapshotTest, TruncatedFileKeepsThePrefixEntries) {
 
 TEST(SnapshotTest, VersionMismatchRefusesTheWholeFile) {
   PlanCache restored(64, 4);
-  std::istringstream future("pushpart-plancache v2\nentries 0\n");
+  std::istringstream future("pushpart-plancache v3\nentries 0\n");
   EXPECT_THROW(loadPlanCacheSnapshot(restored, future), std::runtime_error);
   std::istringstream garbage("not a snapshot at all\n");
   EXPECT_THROW(loadPlanCacheSnapshot(restored, garbage), std::runtime_error);
@@ -136,7 +136,7 @@ TEST(SnapshotTest, TryLoadReportsVersionRefusalWithoutThrowing) {
   // snapshot file: the try-variant reports the refusal instead of throwing,
   // and the cache stays untouched.
   PlanCache restored(64, 4);
-  std::istringstream future("pushpart-plancache v2\nentries 0\n");
+  std::istringstream future("pushpart-plancache v3\nentries 0\n");
   const SnapshotLoadReport report = tryLoadPlanCacheSnapshot(restored, future);
   EXPECT_FALSE(report.ok());
   EXPECT_FALSE(report.clean());

@@ -9,7 +9,12 @@
 //                      [--runs=16] [--seed=1] [--topology=full|star] [--hub=P]
 //                      [--bandwidth-mbs=1000] [--flops=1e9] [--repl]
 //                      [--deadline-ms=50] [--max-concurrency=4] [--max-queue=16]
-//                      [--snapshot=plans.snap]
+//                      [--snapshot=plans.snap] [--atlas=surface.atlas]
+//                      [--atlas-gap-pct=5] [--no-atlas-prefetch]
+//   pushpart atlas     build --out=surface.atlas [grid/build flags]
+//                      | inspect --file=surface.atlas
+//                      | query --file=surface.atlas --ratio=7:2:1 [--n=1000]
+//                        [--gap-pct=5]
 //   pushpart cluster   [--nodes=3] [--replication=2] [--vnodes=32] [--seed=1]
 //                      [--drill=kill|flap|partition|slow|none] [--node=1]
 //                      [--at=1.0] [--until=2.5] [--duration=4.0]
@@ -49,14 +54,20 @@
 // invariants with shrinking, the exhaustive small-N differential sweep, and
 // replay of the checked-in counterexample corpus. All commands accept
 // --log-level=debug|info|warn|error.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "atlas/builder.hpp"
+#include "atlas/io.hpp"
 #include "cluster/cluster.hpp"
 #include "dfa/dfa.hpp"
 #include "grid/builder.hpp"
@@ -90,7 +101,16 @@ int usage() {
       "            [--runs=16] [--seed=1] [--topology=full|star] [--hub=P]\n"
       "            [--bandwidth-mbs=1000] [--flops=1e9] [--repl]\n"
       "            [--deadline-ms=50] [--max-concurrency=4] [--max-queue=16]\n"
-      "            [--snapshot=plans.snap]\n"
+      "            [--snapshot=plans.snap] [--atlas=surface.atlas]\n"
+      "            [--atlas-gap-pct=5] [--no-atlas-prefetch]\n"
+      "  atlas     build --out=surface.atlas [--pr-min=1 --pr-max=20\n"
+      "            --pr-steps=20 --rr-min=1 --rr-max=10 --rr-steps=10]\n"
+      "            [--n=96] [--algo=SCB] [--search-runs=0] [--seed=1]\n"
+      "            [--tie-pct=1] [--threads=0] [--bandwidth-mbs=1000]\n"
+      "            [--flops=1e9]\n"
+      "  atlas     inspect --file=surface.atlas\n"
+      "  atlas     query --file=surface.atlas --ratio=7:2:1 [--n=1000]\n"
+      "            [--gap-pct=5]\n"
       "  cluster   [--nodes=3] [--replication=2] [--vnodes=32] [--seed=1]\n"
       "            [--drill=kill|flap|partition|slow|none] [--node=1]\n"
       "            [--at=1.0] [--until=2.5] [--duration=4.0]\n"
@@ -243,6 +263,11 @@ void printPlanResponse(const PlanResponse& r) {
     std::printf("  DEGRADED: %s%s%s\n", degradeReasonName(r.answer.degrade),
                 r.answer.truncated ? ", search truncated" : "",
                 r.deadlineExceeded ? ", deadline exceeded" : "");
+  if (r.answer.atlasServed)
+    std::printf("  ATLAS: certified from cell (%d,%d), cert gap %.3g%%%s\n",
+                r.answer.atlasI, r.answer.atlasJ, r.answer.atlasCertGapPct,
+                r.answer.searchConfirmedCandidate ? ", search-confirmed"
+                                                  : "");
   if (r.answer.servedTier == PlanTier::kSearch)
     std::printf("  search: %d/%d walks, best exec %gs voc %lld — %s\n",
                 r.answer.searchCompleted, r.answer.searchRuns,
@@ -268,9 +293,25 @@ void printOracleStats(const OracleStats& s) {
                 static_cast<unsigned long long>(h.count), h.p50 * 1e6,
                 h.p95 * 1e6, h.p99 * 1e6);
   };
+  std::printf("%s\n", s.sourcesLine().c_str());
   line("hit latency", s.hitLatency);
   line("tier-A solve", s.tierASolves);
   line("tier-B solve", s.tierBSolves);
+  line("atlas solve", s.atlasSolves);
+  if (s.atlasServed + s.atlasMisses + s.atlasUncertified > 0)
+    std::printf(
+        "atlas: %llu certified, %llu uncertified, %llu misses "
+        "(%llu lookups: %llu hits, %llu out-of-range, %llu unsolved, "
+        "%llu boundary; %llu cell inserts)\n",
+        static_cast<unsigned long long>(s.atlasServed),
+        static_cast<unsigned long long>(s.atlasUncertified),
+        static_cast<unsigned long long>(s.atlasMisses),
+        static_cast<unsigned long long>(s.atlasCells.lookups),
+        static_cast<unsigned long long>(s.atlasCells.hits),
+        static_cast<unsigned long long>(s.atlasCells.outOfRange),
+        static_cast<unsigned long long>(s.atlasCells.unsolved),
+        static_cast<unsigned long long>(s.atlasCells.boundary),
+        static_cast<unsigned long long>(s.atlasCells.inserts));
   if (s.shed + s.degraded > 0 || s.breaker.trips > 0)
     std::printf(
         "overload: %llu shed, %llu degraded (%llu truncated, %llu no-time, "
@@ -298,6 +339,25 @@ int cmdPlanOracle(const Flags& flags) {
   options.admission.maxConcurrency =
       static_cast<int>(flags.i64("max-concurrency", 0));
   options.admission.maxQueue = static_cast<int>(flags.i64("max-queue", 16));
+
+  const std::string atlasPath = flags.str("atlas", "");
+  if (!atlasPath.empty()) {
+    // Same survival rule as snapshots: a refused or unreadable atlas means
+    // serving without one (every request takes the live path), never abort.
+    const AtlasLoadReport report = tryLoadAtlas(atlasPath);
+    if (!report.ok()) {
+      std::printf("atlas: refused %s (%s); serving without an atlas\n",
+                  atlasPath.c_str(), report.error.c_str());
+    } else {
+      options.atlas = report.atlas;
+      options.atlasGapPct = flags.f64("atlas-gap-pct", 5.0);
+      options.atlasPrefetch = !flags.b("no-atlas-prefetch", false);
+      std::printf("atlas: loaded %zu cells from %s (%zu skipped, "
+                  "%zu boundary)\n",
+                  report.loaded, atlasPath.c_str(), report.skipped,
+                  report.atlas->boundaryCells().size());
+    }
+  }
   Oracle oracle(options);
 
   const std::string snapshotPath = flags.str("snapshot", "");
@@ -365,6 +425,204 @@ int cmdPlanOracle(const Flags& flags) {
   printOracleStats(oracle.stats());
   persist();
   return 0;
+}
+
+/// One-letter legend for the inspect winner map.
+char candidateLetter(CandidateShape s) {
+  switch (s) {
+    case CandidateShape::kSquareCorner: return 'S';
+    case CandidateShape::kRectangleCorner: return 'C';
+    case CandidateShape::kSquareRectangle: return 'Q';
+    case CandidateShape::kBlockRectangle: return 'B';
+    case CandidateShape::kLRectangle: return 'L';
+    case CandidateShape::kTraditionalRectangle: return 'T';
+  }
+  return '?';
+}
+
+AtlasLoadReport loadAtlasOrThrow(const Flags& flags) {
+  const std::string path = flags.str("file", "");
+  if (path.empty()) throw std::invalid_argument("missing --file=<atlas>");
+  AtlasLoadReport report = tryLoadAtlas(path);
+  if (!report.ok()) throw std::runtime_error(report.error);
+  return report;
+}
+
+int cmdAtlasBuild(const Flags& flags) {
+  const std::string out = flags.str("out", "");
+  if (out.empty()) throw std::invalid_argument("missing --out=<file>");
+
+  AtlasBuildOptions options;
+  options.spec.prMin = flags.f64("pr-min", 1.0);
+  options.spec.prMax = flags.f64("pr-max", 20.0);
+  options.spec.prSteps = static_cast<int>(flags.i64("pr-steps", 20));
+  options.spec.rrMin = flags.f64("rr-min", 1.0);
+  options.spec.rrMax = flags.f64("rr-max", 10.0);
+  options.spec.rrSteps = static_cast<int>(flags.i64("rr-steps", 10));
+  options.info.n = static_cast<int>(flags.i64("n", 96));
+  options.info.algo = parseAlgo(flags, "SCB");
+  options.info.machine = machineFromFlags(flags, "2:1:1");
+  const int searchRuns = static_cast<int>(flags.i64("search-runs", 0));
+  options.info.searchBacked = searchRuns > 0;
+  options.info.searchRuns = searchRuns;
+  options.info.seed = static_cast<std::uint64_t>(flags.i64("seed", 1));
+  options.info.tieSnapPct = flags.f64("tie-pct", 1.0);
+  options.threads = static_cast<int>(flags.i64("threads", 0));
+  options.onCell = [](std::size_t done, std::size_t total) {
+    // Coarse progress: one line per ~10% so a big sweep isn't silent.
+    if (total >= 10 && done % (total / 10) == 0)
+      std::printf("  solved %zu/%zu cells\n", done, total);
+  };
+
+  AtlasBuildReport report;
+  const std::shared_ptr<PlanAtlas> atlas = buildAtlas(options, &report);
+  const std::size_t written = saveAtlas(*atlas, out);
+
+  std::printf(
+      "atlas: %dx%d grid over P_r [%g, %g] x R_r [%g, %g], n=%d, %s%s\n",
+      options.spec.prSteps, options.spec.rrSteps, options.spec.prMin,
+      options.spec.prMax, options.spec.rrMin, options.spec.rrMax,
+      options.info.n, algoName(options.info.algo),
+      options.info.searchBacked ? ", search-backed" : "");
+  std::printf(
+      "build: %zu cells attempted, %zu solved, %zu infeasible, "
+      "%zu search-confirmed, %zu boundary, %.3gs\n",
+      report.attempted, report.solved, report.failed, report.searchConfirmed,
+      report.boundary, report.seconds);
+  std::printf("saved %zu cells to %s\n", written, out.c_str());
+  return report.solved > 0 ? 0 : 1;
+}
+
+int cmdAtlasInspect(const Flags& flags) {
+  const AtlasLoadReport report = loadAtlasOrThrow(flags);
+  const PlanAtlas& atlas = *report.atlas;
+  const AtlasGridSpec& spec = atlas.spec();
+  const AtlasBuildInfo& info = atlas.info();
+
+  std::printf(
+      "atlas: %dx%d grid over P_r [%g, %g] x R_r [%g, %g], n=%d, %s, %s%s\n",
+      spec.prSteps, spec.rrSteps, spec.prMin, spec.prMax, spec.rrMin,
+      spec.rrMax, info.n, algoName(info.algo),
+      info.topology == Topology::kStar ? "star" : "full",
+      info.searchBacked ? ", search-backed" : "");
+  std::printf("cells: %zu solved of %zu grid points (%zu skipped on load)\n",
+              atlas.solvedCells(), spec.points(), report.skipped);
+
+  // Winner map, P_r down the rows (largest first, like Fig. 13), R_r across.
+  // Lowercase marks a boundary cell; '.' = invalid (P_r < R_r); '!' =
+  // unsolved (build-failed or corrupted away).
+  std::printf("winner map (S=Square-Corner C=Rectangle-Corner "
+              "Q=Square-Rectangle B=Block-Rectangle L=L-Rectangle "
+              "T=Traditional-Rectangle, lowercase=boundary):\n");
+  for (int i = spec.prSteps - 1; i >= 0; --i) {
+    std::printf("  P_r=%-8.4g ", spec.prMin + i * spec.prStep());
+    for (int j = 0; j < spec.rrSteps; ++j) {
+      char mark = '.';
+      if (spec.validCell(i, j)) {
+        const std::optional<AtlasCell> cell = atlas.cell(i, j);
+        if (!cell || !cell->solved) {
+          mark = '!';
+        } else {
+          mark = candidateLetter(cell->shape);
+          if (cell->boundary)
+            mark = static_cast<char>(std::tolower(mark));
+        }
+      }
+      std::printf("%c", mark);
+    }
+    std::printf("\n");
+  }
+
+  const std::vector<std::pair<int, int>> edges = atlas.boundaryCells();
+  std::printf("boundary cells: %zu of %zu solved\n", edges.size(),
+              atlas.solvedCells());
+  for (const auto& [i, j] : edges) {
+    const AtlasCell cell = *atlas.cell(i, j);
+    const Ratio at = spec.ratioAt(i, j);
+    std::printf(
+        "  boundary cell (%d,%d) ratio=%s winner=%s runner-up gap=%.3g%%\n",
+        i, j, at.str().c_str(), candidateName(cell.shape),
+        std::min(cell.runnerUpGapPct, 999.0));
+  }
+  return 0;
+}
+
+int cmdAtlasQuery(const Flags& flags) {
+  // A standalone lookup + certificate probe: exactly the decision the
+  // serving tier makes, printed instead of served, so CI (and humans) can
+  // check what a given ratio would get without standing up an oracle.
+  const AtlasLoadReport report = loadAtlasOrThrow(flags);
+  const PlanAtlas& atlas = *report.atlas;
+  const Ratio ratio = Ratio::parse(flags.str("ratio", "7:2:1"));
+  const int n = static_cast<int>(flags.i64("n", 1000));
+  const double gapPct = flags.f64("gap-pct", 5.0);
+
+  const AtlasLookup lk = atlas.lookup(ratio);
+  std::printf("query: ratio=%s n=%d gap bound=%g%%\n", ratio.str().c_str(),
+              n, gapPct);
+  if (!lk.hit) {
+    std::string where;
+    if (lk.i >= 0)
+      where = " at cell (" + std::to_string(lk.i) + "," +
+              std::to_string(lk.j) + ")";
+    std::printf("MISS (%s)%s — a serving oracle would fall back to live "
+                "search\n",
+                atlasMissReasonName(lk.miss), where.c_str());
+    return 1;
+  }
+
+  Machine machine = atlas.info().machine;
+  machine.ratio = ratio.normalized();
+  const RankedCandidate best =
+      selectOptimal(atlas.info().algo, n, machine, atlas.info().topology);
+  RankedCandidate served = best;
+  double winnerGapPct = 0.0;
+  if (lk.shape != best.shape) {
+    if (const std::optional<RankedCandidate> rc = rankOne(
+            lk.shape, atlas.info().algo, n, machine, atlas.info().topology)) {
+      served = *rc;
+      winnerGapPct = (rc->model.execSeconds - best.model.execSeconds) /
+                     best.model.execSeconds * 100.0;
+    } else {
+      winnerGapPct = AtlasCell::kMaxGapPct;
+    }
+  }
+  const double exactNorm = static_cast<double>(served.voc) /
+                           (static_cast<double>(n) * static_cast<double>(n));
+  const double surfaceGapPct =
+      exactNorm > 0.0
+          ? std::fabs(lk.interpNormVoc - exactNorm) / exactNorm * 100.0
+          : (lk.interpNormVoc > 0.0 ? AtlasCell::kMaxGapPct : 0.0);
+
+  std::printf("cell (%d,%d): winner=%s surface VoC/n^2=%.6g (%s)%s\n", lk.i,
+              lk.j, candidateName(lk.shape), lk.interpNormVoc,
+              lk.bilinear ? "bilinear" : "nearest-cell",
+              lk.searchConfirmed ? ", search-confirmed" : "");
+  std::printf("exact at request: best=%s, served-shape gap %.3g%%, "
+              "surface gap %.3g%%\n",
+              candidateName(best.shape), std::min(winnerGapPct, 999.0),
+              std::min(surfaceGapPct, 999.0));
+  if (winnerGapPct <= gapPct && surfaceGapPct <= gapPct) {
+    std::printf("CERTIFIED: shape=%s exec=%gs voc=%lld cert gap=%.3g%%\n",
+                candidateName(served.shape), served.model.execSeconds,
+                static_cast<long long>(served.voc),
+                std::max(winnerGapPct, surfaceGapPct));
+    return 0;
+  }
+  std::printf("UNCERTIFIED (%s) — a serving oracle would fall back to live "
+              "search\n",
+              winnerGapPct > gapPct ? "winner-mismatch" : "gap-exceeded");
+  return 1;
+}
+
+int cmdAtlas(const Flags& flags) {
+  const std::vector<std::string>& pos = flags.positional();
+  const std::string op = pos.empty() ? "" : pos[0];
+  if (op == "build") return cmdAtlasBuild(flags);
+  if (op == "inspect") return cmdAtlasInspect(flags);
+  if (op == "query") return cmdAtlasQuery(flags);
+  std::cerr << "pushpart atlas: expected build, inspect or query\n";
+  return usage();
 }
 
 int cmdCluster(const Flags& flags) {
@@ -603,6 +861,7 @@ int main(int argc, char** argv) {
     if (command == "voc") return cmdVoc(flags);
     if (command == "recommend") return cmdRecommend(flags);
     if (command == "plan") return cmdPlanOracle(flags);
+    if (command == "atlas") return cmdAtlas(flags);
     if (command == "cluster") return cmdCluster(flags);
     if (command == "commplan") return cmdCommPlan(flags);
     if (command == "faults") return cmdFaults(flags);
