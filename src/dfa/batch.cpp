@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "grid/builder.hpp"
+#include "rle/engine.hpp"
 #include "support/check.hpp"
 
 namespace pushpart {
@@ -62,13 +63,34 @@ BatchSummary runBatch(const BatchOptions& options,
         // Independent, reproducible stream per run index.
         Rng rng = master.split(static_cast<std::uint64_t>(run));
 
+        // The RNG draw order is engine-independent (schedule, then the grid
+        // q0 builders), so kRle and kGrid batches walk the same start states
+        // under the same schedules and — the engines being lockstep-equal —
+        // produce bit-identical results.
         Schedule schedule = Schedule::random(rng);
         Partition q0 =
             rng.chance(options.clusteredStartFraction)
                 ? randomClusteredPartition(options.n, options.ratio, rng)
                 : randomPartition(options.n, options.ratio, rng);
-        BatchRun ctx(run, schedule,
-                     runDfa(std::move(q0), schedule, dfaOptions));
+        DfaResult res =
+            options.engine == BatchEngine::kRle
+                ? [&] {
+                    DfaResultT<RlePartition> fast = runDfaT(
+                        RlePartition(q0), schedule, dfaOptions);
+                    // Convert back to the element grid so every downstream
+                    // consumer (serve, atlas, benches) stays engine-agnostic.
+                    DfaResult out(fast.final.toPartition());
+                    out.stop = fast.stop;
+                    out.pushesApplied = fast.pushesApplied;
+                    out.sweeps = fast.sweeps;
+                    out.vocStart = fast.vocStart;
+                    out.vocEnd = fast.vocEnd;
+                    out.beautify = fast.beautify;
+                    out.trace = std::move(fast.trace);
+                    return out;
+                  }()
+                : runDfa(std::move(q0), schedule, dfaOptions);
+        BatchRun ctx(run, schedule, std::move(res));
         const bool cancelled = ctx.result.stop == DfaStop::kCancelled;
 
         {

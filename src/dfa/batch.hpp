@@ -18,6 +18,22 @@
 
 namespace pushpart {
 
+/// Which engine state runs the walks. Both make identical decisions (the
+/// differential suite in src/verify enforces it); kRle is the default
+/// because its run-granular legality scans are an order of magnitude faster
+/// on the condensed states walks spend most of their time in
+/// (bench/micro_push). kGrid remains for differential testing and as the
+/// element-exact fallback.
+enum class BatchEngine { kRle, kGrid };
+
+constexpr const char* batchEngineName(BatchEngine e) {
+  switch (e) {
+    case BatchEngine::kRle: return "rle";
+    case BatchEngine::kGrid: return "grid";
+  }
+  return "?";
+}
+
 struct BatchOptions {
   int n = 100;                ///< Matrix size per run (paper: 1000).
   Ratio ratio{2, 1, 1};
@@ -35,6 +51,10 @@ struct BatchOptions {
   /// truncated, and nothing throws. (Any token already set on `dfa.cancel`
   /// is replaced by this one.)
   CancelToken cancel;
+  /// Engine state for the walks. Results are converted back to the element
+  /// grid either way, so consumers are engine-agnostic; with a fixed seed
+  /// the two engines produce bit-identical batches.
+  BatchEngine engine = BatchEngine::kRle;
   DfaOptions dfa;
 };
 

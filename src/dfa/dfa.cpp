@@ -1,101 +1,13 @@
+// Partition instantiation of the state-generic DFA walk (runDfaT in
+// dfa.hpp); the run-length engine instantiates the same template through
+// src/rle.
 #include "dfa/dfa.hpp"
-
-#include <unordered_set>
-
-#include "grid/render.hpp"
-#include "support/check.hpp"
 
 namespace pushpart {
 
 DfaResult runDfa(Partition q0, const Schedule& schedule,
                  const DfaOptions& options) {
-  PUSHPART_CHECK_MSG(!schedule.slots.empty(), "schedule has no slots");
-  DfaResult result(std::move(q0));
-  Partition& q = result.final;
-  result.vocStart = q.volumeOfCommunication();
-
-  auto maybeSnapshot = [&](bool force) {
-    if (options.traceEvery <= 0) return;
-    if (!force && (result.trace.empty()
-                       ? result.pushesApplied < 1
-                       : result.pushesApplied - result.trace.back().pushesApplied <
-                             options.traceEvery))
-      return;
-    result.trace.push_back({result.pushesApplied, q.volumeOfCommunication(),
-                            renderAscii(q, options.traceCells)});
-  };
-  maybeSnapshot(true);  // q0
-
-  std::unordered_set<std::uint64_t> plateauStates;
-  int stalledSweeps = 0;
-  bool running = true;
-  const std::int64_t cancelEvery =
-      options.cancelCheckEvery > 0 ? options.cancelCheckEvery : 1;
-
-  // Sweep boundaries and every cancelEvery-th push poll the token; a push is
-  // transactional, so stopping between pushes always leaves a valid state.
-  if (options.cancel.cancelled()) {
-    result.stop = DfaStop::kCancelled;
-    running = false;
-  }
-
-  while (running) {
-    ++result.sweeps;
-    bool anyApplied = false;
-    bool anyImproved = false;
-    for (const ScheduleSlot& slot : schedule.slots) {
-      const PushOutcome out = tryPush(q, slot.active, slot.dir);
-      if (!out.applied) continue;
-      anyApplied = true;
-      anyImproved |= out.improvedVoC();
-      ++result.pushesApplied;
-      maybeSnapshot(false);
-      if (result.pushesApplied >= options.maxPushes) {
-        result.stop = DfaStop::kPushBudget;
-        running = false;
-        break;
-      }
-      if (result.pushesApplied % cancelEvery == 0 &&
-          options.cancel.cancelled()) {
-        result.stop = DfaStop::kCancelled;
-        running = false;
-        break;
-      }
-    }
-    if (!running) break;
-
-    if (options.cancel.cancelled()) {
-      result.stop = DfaStop::kCancelled;
-      break;
-    }
-
-    if (!anyApplied) {
-      result.stop = DfaStop::kCondensed;
-      break;
-    }
-    if (anyImproved) {
-      stalledSweeps = 0;
-      plateauStates.clear();
-      continue;
-    }
-    // A sweep that applied only VoC-preserving pushes: detect cycles by
-    // state hash, and bound how long a plateau may wander.
-    if (!plateauStates.insert(q.hash()).second) {
-      result.stop = DfaStop::kCycle;
-      break;
-    }
-    if (++stalledSweeps >= options.maxStalledSweeps) {
-      result.stop = DfaStop::kStalled;
-      break;
-    }
-  }
-
-  if (options.beautifyResult && result.stop != DfaStop::kCancelled)
-    result.beautify = beautify(q);
-
-  result.vocEnd = q.volumeOfCommunication();
-  maybeSnapshot(true);  // final state
-  return result;
+  return runDfaT(std::move(q0), schedule, options);
 }
 
 }  // namespace pushpart

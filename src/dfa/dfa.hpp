@@ -16,15 +16,27 @@
 //   * Optionally a beautify pass (paper §VIII-C) then applies the strictly
 //     improving pushes the schedule never selected, turning Archetype C
 //     interlocks into Archetype A.
+//
+// The walk is a template over the engine state (runDfaT): the element-exact
+// Partition and the run-length RlePartition (src/rle) both drive it through
+// the shared push engine, and a lockstep walk makes identical decisions on
+// either state. Cycle detection uses the state's own hash(); the two hashes
+// differ as functions but agree on what matters — a state repeats on one
+// engine iff it repeats on the other (modulo hash collisions, which only
+// ever cause a premature plateau verdict).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "dfa/schedule.hpp"
 #include "grid/partition.hpp"
+#include "grid/render.hpp"
 #include "push/beautify.hpp"
+#include "push/engine.hpp"
 #include "push/push.hpp"
 #include "support/deadline.hpp"
 
@@ -77,12 +89,13 @@ constexpr const char* dfaStopName(DfaStop s) {
   return "?";
 }
 
-struct DfaResult {
-  /// Partition is not default-constructible, so neither is DfaResult; the
-  /// runner seeds it with the start state and mutates in place.
-  explicit DfaResult(Partition start) : final(std::move(start)) {}
+template <typename Q>
+struct DfaResultT {
+  /// Engine states are not default-constructible, so neither is the result;
+  /// the runner seeds it with the start state and mutates in place.
+  explicit DfaResultT(Q start) : final(std::move(start)) {}
 
-  Partition final;  ///< The accept-state partition (post-beautify if enabled).
+  Q final;  ///< The accept-state partition (post-beautify if enabled).
   DfaStop stop = DfaStop::kCondensed;
   std::int64_t pushesApplied = 0;
   std::int64_t sweeps = 0;
@@ -92,9 +105,112 @@ struct DfaResult {
   std::vector<TraceSnapshot> trace;
 };
 
-/// Runs the DFA from `q0` under `schedule`. The returned partition is an
-/// accept state of the schedule's direction set (and, with beautify on, has
-/// no strictly-improving push in any direction).
+using DfaResult = DfaResultT<Partition>;
+
+/// Trace-rendering hook, resolved by argument-dependent lookup so run-length
+/// states can render without the DFA knowing about them (src/rle provides
+/// the RlePartition overload).
+inline std::string dfaTraceArt(const Partition& q, int cells) {
+  return renderAscii(q, cells);
+}
+
+/// Runs the DFA from `q0` under `schedule` on any engine state. The returned
+/// partition is an accept state of the schedule's direction set (and, with
+/// beautify on, has no strictly-improving push in any direction).
+template <typename Q>
+DfaResultT<Q> runDfaT(Q q0, const Schedule& schedule,
+                      const DfaOptions& options = {}) {
+  PUSHPART_CHECK_MSG(!schedule.slots.empty(), "schedule has no slots");
+  DfaResultT<Q> result(std::move(q0));
+  Q& q = result.final;
+  result.vocStart = q.volumeOfCommunication();
+
+  auto maybeSnapshot = [&](bool force) {
+    if (options.traceEvery <= 0) return;
+    if (!force && (result.trace.empty()
+                       ? result.pushesApplied < 1
+                       : result.pushesApplied - result.trace.back().pushesApplied <
+                             options.traceEvery))
+      return;
+    result.trace.push_back({result.pushesApplied, q.volumeOfCommunication(),
+                            dfaTraceArt(q, options.traceCells)});
+  };
+  maybeSnapshot(true);  // q0
+
+  std::unordered_set<std::uint64_t> plateauStates;
+  int stalledSweeps = 0;
+  bool running = true;
+  const std::int64_t cancelEvery =
+      options.cancelCheckEvery > 0 ? options.cancelCheckEvery : 1;
+
+  // Sweep boundaries and every cancelEvery-th push poll the token; a push is
+  // transactional, so stopping between pushes always leaves a valid state.
+  if (options.cancel.cancelled()) {
+    result.stop = DfaStop::kCancelled;
+    running = false;
+  }
+
+  while (running) {
+    ++result.sweeps;
+    bool anyApplied = false;
+    bool anyImproved = false;
+    for (const ScheduleSlot& slot : schedule.slots) {
+      const PushOutcome out = tryPushState(q, slot.active, slot.dir);
+      if (!out.applied) continue;
+      anyApplied = true;
+      anyImproved |= out.improvedVoC();
+      ++result.pushesApplied;
+      maybeSnapshot(false);
+      if (result.pushesApplied >= options.maxPushes) {
+        result.stop = DfaStop::kPushBudget;
+        running = false;
+        break;
+      }
+      if (result.pushesApplied % cancelEvery == 0 &&
+          options.cancel.cancelled()) {
+        result.stop = DfaStop::kCancelled;
+        running = false;
+        break;
+      }
+    }
+    if (!running) break;
+
+    if (options.cancel.cancelled()) {
+      result.stop = DfaStop::kCancelled;
+      break;
+    }
+
+    if (!anyApplied) {
+      result.stop = DfaStop::kCondensed;
+      break;
+    }
+    if (anyImproved) {
+      stalledSweeps = 0;
+      plateauStates.clear();
+      continue;
+    }
+    // A sweep that applied only VoC-preserving pushes: detect cycles by
+    // state hash, and bound how long a plateau may wander.
+    if (!plateauStates.insert(q.hash()).second) {
+      result.stop = DfaStop::kCycle;
+      break;
+    }
+    if (++stalledSweeps >= options.maxStalledSweeps) {
+      result.stop = DfaStop::kStalled;
+      break;
+    }
+  }
+
+  if (options.beautifyResult && result.stop != DfaStop::kCancelled)
+    result.beautify = beautifyState(q);
+
+  result.vocEnd = q.volumeOfCommunication();
+  maybeSnapshot(true);  // final state
+  return result;
+}
+
+/// Grid-typed entry point (the historical API; all serving-layer callers use
+/// this signature).
 DfaResult runDfa(Partition q0, const Schedule& schedule,
                  const DfaOptions& options = {});
 

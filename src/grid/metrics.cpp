@@ -25,43 +25,6 @@ std::int64_t volumeOfCommunication(const Partition& q) {
   return q.volumeOfCommunication();
 }
 
-bool isRectangle(const Partition& q, Proc x) {
-  const Rect r = q.enclosingRect(x);
-  return !r.isEmpty() && q.count(x) == r.area();
-}
-
-bool isAsymptoticallyRectangular(const Partition& q, Proc x) {
-  const Rect r = q.enclosingRect(x);
-  if (r.isEmpty()) return false;
-  if (q.count(x) == r.area()) return true;
-
-  // All missing cells must lie in one edge row or one edge column of r.
-  // Check each of the four edges: removing that line, the remainder must be
-  // completely full, and the edge itself may be partial (it is non-empty by
-  // definition of the enclosing rectangle).
-  auto rowFull = [&](int i) { return q.rowCount(x, i) >= r.width(); };
-  auto colFull = [&](int j) { return q.colCount(x, j) >= r.height(); };
-
-  auto allRowsFullExcept = [&](int skip) {
-    for (int i = r.rowBegin; i < r.rowEnd; ++i)
-      if (i != skip && !rowFull(i)) return false;
-    return true;
-  };
-  auto allColsFullExcept = [&](int skip) {
-    for (int j = r.colBegin; j < r.colEnd; ++j)
-      if (j != skip && !colFull(j)) return false;
-    return true;
-  };
-
-  // A partial top or bottom row: every other row of the rectangle is full
-  // (full rows imply full columns elsewhere automatically).
-  if (allRowsFullExcept(r.rowBegin)) return true;
-  if (allRowsFullExcept(r.rowEnd - 1)) return true;
-  if (allColsFullExcept(r.colBegin)) return true;
-  if (allColsFullExcept(r.colEnd - 1)) return true;
-  return false;
-}
-
 std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> pairVolumes(
     const Partition& q) {
   std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> v{};

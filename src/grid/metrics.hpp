@@ -44,13 +44,51 @@ std::array<std::array<std::int64_t, kNumProcs>, kNumProcs> pairVolumes(
     const Partition& q);
 
 /// True when x's cells exactly fill its enclosing rectangle (and x owns at
-/// least one cell).
-bool isRectangle(const Partition& q, Proc x);
+/// least one cell). Templated over the engine state (Partition or
+/// RlePartition): only the O(1) counter API is consumed.
+template <typename Q>
+bool isRectangle(const Q& q, Proc x) {
+  const Rect r = q.enclosingRect(x);
+  return !r.isEmpty() && q.count(x) == r.area();
+}
 
 /// True when x's cells fill its enclosing rectangle except for missing cells
 /// confined to a single edge row or edge column of that rectangle (paper
 /// Fig. 3's *asymptotically rectangular*). Exact rectangles qualify.
-bool isAsymptoticallyRectangular(const Partition& q, Proc x);
+/// Templated like isRectangle; the beautify pass evaluates it on both
+/// engines.
+template <typename Q>
+bool isAsymptoticallyRectangular(const Q& q, Proc x) {
+  const Rect r = q.enclosingRect(x);
+  if (r.isEmpty()) return false;
+  if (q.count(x) == r.area()) return true;
+
+  // All missing cells must lie in one edge row or one edge column of r.
+  // Check each of the four edges: removing that line, the remainder must be
+  // completely full, and the edge itself may be partial (it is non-empty by
+  // definition of the enclosing rectangle).
+  auto rowFull = [&](int i) { return q.rowCount(x, i) >= r.width(); };
+  auto colFull = [&](int j) { return q.colCount(x, j) >= r.height(); };
+
+  auto allRowsFullExcept = [&](int skip) {
+    for (int i = r.rowBegin; i < r.rowEnd; ++i)
+      if (i != skip && !rowFull(i)) return false;
+    return true;
+  };
+  auto allColsFullExcept = [&](int skip) {
+    for (int j = r.colBegin; j < r.colEnd; ++j)
+      if (j != skip && !colFull(j)) return false;
+    return true;
+  };
+
+  // A partial top or bottom row: every other row of the rectangle is full
+  // (full rows imply full columns elsewhere automatically).
+  if (allRowsFullExcept(r.rowBegin)) return true;
+  if (allRowsFullExcept(r.rowEnd - 1)) return true;
+  if (allColsFullExcept(r.colBegin)) return true;
+  if (allColsFullExcept(r.colEnd - 1)) return true;
+  return false;
+}
 
 /// Number of elements processor X can compute with zero communication under
 /// bulk overlap (SCO/PCO): C(i,j) owned by X such that X owns *every* element

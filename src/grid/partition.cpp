@@ -1,6 +1,7 @@
 #include "grid/partition.hpp"
 
 #include "support/check.hpp"
+#include "support/scan.hpp"
 
 namespace pushpart {
 
@@ -96,16 +97,13 @@ void Partition::recomputeRect(Proc p) const {
     rect_[pi] = Rect::empty();
     return;
   }
+  // total_ > 0 here, so the scans cannot come back empty.
   const auto& rows = rowCnt_[pi];
   const auto& cols = colCnt_[pi];
-  int top = 0;
-  while (rows[static_cast<std::size_t>(top)] == 0) ++top;
-  int bottom = n_ - 1;
-  while (rows[static_cast<std::size_t>(bottom)] == 0) --bottom;
-  int left = 0;
-  while (cols[static_cast<std::size_t>(left)] == 0) ++left;
-  int right = n_ - 1;
-  while (cols[static_cast<std::size_t>(right)] == 0) --right;
+  const int top = static_cast<int>(firstNonZero(rows));
+  const int bottom = static_cast<int>(lastNonZero(rows));
+  const int left = static_cast<int>(firstNonZero(cols));
+  const int right = static_cast<int>(lastNonZero(cols));
   rect_[pi] = Rect{top, bottom + 1, left, right + 1};
 }
 

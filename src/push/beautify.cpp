@@ -1,235 +1,15 @@
+// Partition instantiation of the state-generic beautify pass
+// (push/engine.hpp); shared with the run-length engine in src/rle.
 #include "push/beautify.hpp"
 
-#include <array>
-#include <limits>
-#include <unordered_set>
-#include <vector>
-
-#include "grid/metrics.hpp"
-#include "push/direction.hpp"
-#include "support/check.hpp"
+#include "push/engine.hpp"
 
 namespace pushpart {
 
-namespace {
+bool compactRegion(Partition& q, Proc x) { return compactRegionState(q, x); }
 
-/// One attempted re-layout of x inside its enclosing rectangle, filling in
-/// the order given by `rank` (a bijection from rect cells to 0..area-1; the
-/// first count(x) ranks become x's). Commits only when the guard passes.
-/// The right orientation depends on context — e.g. a full-matrix-width
-/// region must keep every row occupied (a partial top row would newly dirty
-/// that row with the displaced owner), so its partial line has to be a
-/// column — hence the caller tries several orientations.
-template <typename RankFn>
-bool tryCompactLayout(Partition& q, Proc x, const Rect& rect, RankFn rank) {
-  const std::int64_t own = q.count(x);
-  auto targetIsX = [&](int i, int j) { return rank(i, j) < own; };
+BeautifyResult beautify(Partition& q) { return beautifyState(q); }
 
-  std::vector<std::pair<int, int>> gain, release;
-  for (int i = rect.rowBegin; i < rect.rowEnd; ++i)
-    for (int j = rect.colBegin; j < rect.colEnd; ++j) {
-      const Proc owner = q.at(i, j);
-      const bool isX = owner == x;
-      if (targetIsX(i, j) && !isX) {
-        // Only holes owned by the fastest processor P may be swapped out.
-        // Claiming the other slow processor's cells would let the R and S
-        // compactions displace each other back and forth at equal VoC —
-        // a livelock. With P-only holes, each compaction is idempotent and
-        // cannot disturb the other slow processor's region.
-        if (owner != Proc::P) return false;
-        gain.push_back({i, j});
-      } else if (!targetIsX(i, j) && isX) {
-        release.push_back({i, j});
-      }
-    }
-  if (gain.empty()) return false;  // layout already achieved
-  PUSHPART_CHECK(gain.size() == release.size());
-
-  const std::int64_t vocBefore = q.volumeOfCommunication();
-  std::array<Rect, kNumProcs> rectBefore;
-  for (Proc p : kAllProcs) rectBefore[procSlot(p)] = q.enclosingRect(p);
-
-  std::vector<Proc> displaced;
-  displaced.reserve(gain.size());
-  for (const auto& [i, j] : gain) {
-    displaced.push_back(q.at(i, j));
-    q.set(i, j, x);
-  }
-  for (std::size_t k = 0; k < release.size(); ++k)
-    q.set(release[k].first, release[k].second, displaced[k]);
-
-  bool ok = q.volumeOfCommunication() <= vocBefore;
-  // Only the slow processors' rectangles are constrained: they drive future
-  // pushes and the archetype classification. P's enclosing rectangle is free
-  // to change — it plays no role in VoC, and the paper's own Thm 8.2
-  // transformations reshape enclosing rectangles as long as communication
-  // does not increase.
-  for (Proc p : kSlowProcs) {
-    const Rect after = q.enclosingRect(p);
-    ok = ok && rectBefore[procSlot(p)].contains(after);
-  }
-  if (!ok) {
-    for (std::size_t k = 0; k < release.size(); ++k)
-      q.set(release[k].first, release[k].second, x);
-    for (std::size_t k = 0; k < gain.size(); ++k)
-      q.set(gain[k].first, gain[k].second, displaced[k]);
-    return false;
-  }
-  return true;
-}
-
-}  // namespace
-
-bool compactRegion(Partition& q, Proc x) {
-  const Rect rect = q.enclosingRect(x);
-  if (rect.isEmpty()) return false;
-  if (q.count(x) == rect.area()) return false;  // already solid
-  // Already in normal form: leave it alone. This is also what makes
-  // compaction idempotent — every committed layout below ends
-  // asymptotically rectangular, so a second call is a no-op rather than an
-  // equal-VoC oscillation between fill orientations.
-  if (isAsymptoticallyRectangular(q, x)) return false;
-
-  const auto W = static_cast<std::int64_t>(rect.width());
-  const auto H = static_cast<std::int64_t>(rect.height());
-  const int rb = rect.rowBegin, re = rect.rowEnd;
-  const int cb = rect.colBegin, ce = rect.colEnd;
-
-  // Coverage-aware lane ordering. The re-layout's partial line hands its
-  // leftover cells to P; if such a cell lands in a column (row, for the
-  // column-major fills) where P appears nowhere outside this rectangle, that
-  // line gains a third owner and VoC rises — the guard would reject a
-  // re-layout the region actually admits. Ranking lanes so that the ones P
-  // cannot otherwise cover are filled FIRST keeps the vacated cells in
-  // P-covered lanes. With full P coverage the order degenerates to the
-  // identity, so this subsumes the plain left-to-right fills.
-  std::vector<std::int64_t> colPos(static_cast<std::size_t>(rect.width()));
-  std::vector<std::int64_t> rowPos(static_cast<std::size_t>(rect.height()));
-  {
-    std::vector<int> pInRectCol(static_cast<std::size_t>(rect.width()), 0);
-    std::vector<int> pInRectRow(static_cast<std::size_t>(rect.height()), 0);
-    for (int i = rb; i < re; ++i)
-      for (int j = cb; j < ce; ++j)
-        if (q.at(i, j) == Proc::P) {
-          ++pInRectCol[static_cast<std::size_t>(j - cb)];
-          ++pInRectRow[static_cast<std::size_t>(i - rb)];
-        }
-    auto assignPositions = [](std::vector<std::int64_t>& pos,
-                              auto needsCoverage) {
-      std::int64_t next = 0;
-      for (std::size_t lane = 0; lane < pos.size(); ++lane)
-        if (needsCoverage(lane)) pos[lane] = next++;
-      for (std::size_t lane = 0; lane < pos.size(); ++lane)
-        if (!needsCoverage(lane)) pos[lane] = next++;
-    };
-    assignPositions(colPos, [&](std::size_t lane) {
-      const int j = cb + static_cast<int>(lane);
-      return q.colCount(Proc::P, j) - pInRectCol[lane] == 0;
-    });
-    assignPositions(rowPos, [&](std::size_t lane) {
-      const int i = rb + static_cast<int>(lane);
-      return q.rowCount(Proc::P, i) - pInRectRow[lane] == 0;
-    });
-  }
-
-  // Four fill orientations; the partial line lands on the top row, bottom
-  // row, right column or left column respectively. The first admissible
-  // re-layout wins.
-  const auto partialTop = [&, W](int i, int j) {
-    return static_cast<std::int64_t>(re - 1 - i) * W +
-           colPos[static_cast<std::size_t>(j - cb)];
-  };
-  const auto partialBottom = [&, W](int i, int j) {
-    return static_cast<std::int64_t>(i - rb) * W +
-           colPos[static_cast<std::size_t>(j - cb)];
-  };
-  const auto partialRight = [&, H](int i, int j) {
-    return static_cast<std::int64_t>(j - cb) * H +
-           rowPos[static_cast<std::size_t>(i - rb)];
-  };
-  const auto partialLeft = [&, H](int i, int j) {
-    return static_cast<std::int64_t>(ce - 1 - j) * H +
-           rowPos[static_cast<std::size_t>(i - rb)];
-  };
-
-  if (tryCompactLayout(q, x, rect, partialTop) ||
-      tryCompactLayout(q, x, rect, partialBottom) ||
-      tryCompactLayout(q, x, rect, partialRight) ||
-      tryCompactLayout(q, x, rect, partialLeft))
-    return true;
-
-  // Whole-rectangle fills can fail when the region is *fragmented*: stripes
-  // separated by untouched rows/columns have a smaller line footprint than
-  // the enclosing rectangle, so filling the rectangle would dirty the gap
-  // lines and the guard rejects it. But a solid box of exactly
-  // rowsUsed × colsUsed dimensions has the same line footprint — and hence
-  // the same VoC — as the fragmented region. Try that box anchored in each
-  // corner of the enclosing rectangle (the guard still arbitrates).
-  const auto rowsUsed = static_cast<std::int64_t>(q.rowsUsed(x));
-  const auto colsUsed = static_cast<std::int64_t>(q.colsUsed(x));
-  if (rowsUsed >= H && colsUsed >= W) return false;  // no smaller box exists
-
-  const auto boxRank = [&](const Rect& box, bool fromBottom) {
-    return [box, fromBottom](int i, int j) -> std::int64_t {
-      if (!box.contains(i, j))
-        return std::numeric_limits<std::int64_t>::max();
-      const std::int64_t row =
-          fromBottom ? (box.rowEnd - 1 - i) : (i - box.rowBegin);
-      return row * box.width() + (j - box.colBegin);
-    };
-  };
-  const int bh = static_cast<int>(rowsUsed);
-  const int bw = static_cast<int>(colsUsed);
-  const Rect corners[4] = {
-      Rect{re - bh, re, cb, cb + bw},  // bottom-left
-      Rect{re - bh, re, ce - bw, ce},  // bottom-right
-      Rect{rb, rb + bh, cb, cb + bw},  // top-left
-      Rect{rb, rb + bh, ce - bw, ce},  // top-right
-  };
-  for (const Rect& box : corners) {
-    for (bool fromBottom : {true, false}) {
-      if (tryCompactLayout(q, x, rect, boxRank(box, fromBottom))) return true;
-    }
-  }
-  return false;
-}
-
-BeautifyResult beautify(Partition& q) {
-  BeautifyResult result;
-  result.vocBefore = q.volumeOfCommunication();
-  // Pushes of all types are allowed, including the VoC-preserving Types Five
-  // and Six: termination is guaranteed because every applied push strictly
-  // shrinks the active processor's enclosing-rectangle area (its edge row is
-  // cleaned and destinations lie strictly inside) while no other rectangle
-  // may grow, so Σ rectArea(R) + rectArea(S) is a strictly decreasing
-  // non-negative potential. Compaction keeps rectangles fixed and is
-  // idempotent at a fixed state, so interleaving it cannot produce cycles.
-  std::unordered_set<std::uint64_t> seen;  // belt-and-braces cycle guard
-  bool any = true;
-  while (any) {
-    any = false;
-    for (Proc active : kSlowProcs) {
-      for (Direction d : kAllDirections) {
-        while (tryPush(q, active, d).applied) {
-          ++result.pushesApplied;
-          any = true;
-        }
-      }
-    }
-    for (Proc active : kSlowProcs) {
-      if (compactRegion(q, active)) any = true;
-    }
-    if (any && !seen.insert(q.hash()).second) break;
-  }
-  result.vocAfter = q.volumeOfCommunication();
-  return result;
-}
-
-bool fullyCondensed(const Partition& q) {
-  for (Proc active : kSlowProcs) {
-    if (pushAvailable(q, active, kAllDirections, PushOptions{})) return false;
-  }
-  return true;
-}
+bool fullyCondensed(const Partition& q) { return fullyCondensedState(q); }
 
 }  // namespace pushpart

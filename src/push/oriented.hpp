@@ -1,4 +1,4 @@
-// Direction-canonicalising view over a Partition.
+// Direction-canonicalising view over a partition state.
 //
 // The Push algorithm is written once for the canonical Down direction:
 // "clean the lowest-index logical row of the active processor's enclosing
@@ -13,8 +13,15 @@
 //
 // Mutations are funnelled through set(), which appends to an undo log so a
 // failed push attempt can be rolled back exactly.
+//
+// The view is a template over the state type Q so the same engine drives the
+// element-exact Partition and the run-length RlePartition; Q must provide
+// at/set/rowHas/colHas/enclosingRect/n. States that additionally expose
+// owner runs (rowRunAt/colRunAt) get a run-granular rowRun() accessor, which
+// the push engine uses to skip whole runs per legality decision.
 #pragma once
 
+#include <concepts>
 #include <vector>
 
 #include "grid/partition.hpp"
@@ -29,9 +36,29 @@ struct CellUndo {
   Proc previous;
 };
 
-class OrientedGrid {
+/// A maximal same-owner segment of a logical row, ending (exclusive) at
+/// logical column `end`.
+struct OwnerRun {
+  Proc owner;
+  int end;
+};
+
+/// Detects states that store owner runs per physical row and column.
+/// rowRunAt(i, j) must return the run of row i containing column j;
+/// colRunAt(j, i) the run of column j containing row i — both as
+/// {owner, exclusive physical end index}.
+template <typename Q>
+concept HasOwnerRuns = requires(const Q& q, int i, int j) {
+  { q.rowRunAt(i, j).owner } -> std::convertible_to<Proc>;
+  { q.rowRunAt(i, j).end } -> std::convertible_to<int>;
+  { q.colRunAt(j, i).owner } -> std::convertible_to<Proc>;
+  { q.colRunAt(j, i).end } -> std::convertible_to<int>;
+};
+
+template <typename Q>
+class OrientedView {
  public:
-  OrientedGrid(Partition& q, Direction dir) : q_(q), dir_(dir) {}
+  OrientedView(Q& q, Direction dir) : q_(q), dir_(dir) {}
 
   int n() const { return q_.n(); }
 
@@ -88,8 +115,37 @@ class OrientedGrid {
     return r;
   }
 
+  /// The maximal same-owner run of logical row r containing logical column
+  /// c, with its exclusive logical end column. Available only on run-length
+  /// states. In all four orientations a logical row maps onto one physical
+  /// row or column traversed in *increasing* physical index, so the physical
+  /// run end is already the logical one.
+  OwnerRun rowRun(int r, int c) const
+    requires HasOwnerRuns<Q>
+  {
+    switch (dir_) {
+      case Direction::Down: {
+        const auto run = q_.rowRunAt(r, c);
+        return {run.owner, run.end};
+      }
+      case Direction::Up: {
+        const auto run = q_.rowRunAt(n() - 1 - r, c);
+        return {run.owner, run.end};
+      }
+      case Direction::Right: {
+        const auto run = q_.colRunAt(r, c);
+        return {run.owner, run.end};
+      }
+      case Direction::Left: {
+        const auto run = q_.colRunAt(n() - 1 - r, c);
+        return {run.owner, run.end};
+      }
+    }
+    return {q_.at(r, c), c + 1};
+  }
+
   Direction direction() const { return dir_; }
-  const Partition& partition() const { return q_; }
+  const Q& partition() const { return q_; }
 
  private:
   struct Phys {
@@ -106,12 +162,16 @@ class OrientedGrid {
     return {r, c};
   }
 
-  Partition& q_;
+  Q& q_;
   Direction dir_;
 };
 
-/// Reverts mutations recorded by OrientedGrid::set, newest first.
-inline void rollback(Partition& q, const std::vector<CellUndo>& undo) {
+/// The element-exact view the original engine was written against.
+using OrientedGrid = OrientedView<Partition>;
+
+/// Reverts mutations recorded by OrientedView::set, newest first.
+template <typename Q>
+inline void rollback(Q& q, const std::vector<CellUndo>& undo) {
   for (auto it = undo.rbegin(); it != undo.rend(); ++it)
     q.set(it->i, it->j, it->previous);
 }

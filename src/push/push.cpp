@@ -1,198 +1,22 @@
+// Partition instantiation of the state-generic push engine (push/engine.hpp).
+// The legality ladder and the edge-clean scan live there as templates shared
+// with the run-length engine (src/rle); these wrappers keep the original
+// grid-typed API.
 #include "push/push.hpp"
 
-#include <array>
-#include <vector>
-
-#include "push/oriented.hpp"
-#include "support/check.hpp"
+#include "push/engine.hpp"
 
 namespace pushpart {
 
-namespace {
-
-/// How strongly a predicate binds: both the row and the column, either one,
-/// or not at all.
-enum class Req { kAnd, kOr, kNone };
-
-/// Legality profile of one push type (see header for the ladder).
-struct TypeRule {
-  /// Requirement that the *destination* cell lies in a row/column already
-  /// containing the active processor (controls how many rows/columns the
-  /// active processor may dirty).
-  Req activeDest;
-  /// Requirement that the *displaced owner* already has elements in the
-  /// cleaned row and the vacated column (controls how much the owner
-  /// dirties row k / column c when it takes over the vacated cell).
-  Req ownerPresence;
-  /// Types One–Four must strictly lower VoC; Five–Six may keep it equal.
-  bool strictImprovement;
-};
-
-constexpr TypeRule ruleFor(PushType t) {
-  switch (t) {
-    case PushType::kType1: return {Req::kAnd, Req::kAnd, true};
-    case PushType::kType2: return {Req::kAnd, Req::kOr, true};
-    case PushType::kType3: return {Req::kOr, Req::kAnd, true};
-    case PushType::kType4: return {Req::kOr, Req::kNone, true};
-    case PushType::kType5: return {Req::kNone, Req::kAnd, false};
-    case PushType::kType6: return {Req::kNone, Req::kNone, false};
-  }
-  return {Req::kAnd, Req::kAnd, true};
-}
-
-bool meets(Req req, bool inRow, bool inCol) {
-  switch (req) {
-    case Req::kAnd: return inRow && inCol;
-    case Req::kOr: return inRow || inCol;
-    case Req::kNone: return true;
-  }
-  return false;
-}
-
-/// Attempts the edge-clean under one type's predicates, appending all
-/// mutations to `log`. Returns the number of elements moved, or std::nullopt
-/// when some edge element found no legal destination (caller must roll back
-/// `log`).
-std::optional<int> attemptType(OrientedGrid& view, Proc active,
-                               const TypeRule& rule,
-                               const std::array<Rect, kNumProcs>& rectBefore,
-                               std::vector<CellUndo>& log) {
-  const Rect r = view.rect(active);
-  // The active processor needs interior rows to move into; a single-row
-  // occupancy cannot be pushed without enlarging its enclosing rectangle.
-  if (r.isEmpty() || r.height() < 2) return std::nullopt;
-  const int k = r.rowBegin;
-
-  // Columns of the active processor's elements on the edge row, gathered
-  // before any mutation. k is the rectangle edge, so this is non-empty.
-  std::vector<int> sources;
-  for (int c = r.colBegin; c < r.colEnd; ++c)
-    if (view.at(k, c) == active) sources.push_back(c);
-  if (sources.empty()) return std::nullopt;
-
-  // Monotone destination cursor over the rectangle interior, as in the
-  // paper's findTypeOne pseudocode: the scan resumes where the previous
-  // element's search stopped. Unlike the paper's top-down scan we walk the
-  // rows *far-edge-first* (bottom-up for a Down push): relocated elements
-  // fill the holes farthest from the advancing clean edge, so leftover
-  // raggedness collects in the edge line and the condensed region stays
-  // asymptotically rectangular instead of fossilising interior holes it can
-  // no longer clean.
-  int g = r.rowEnd - 1;
-  int h = r.colBegin;
-
-  for (int c : sources) {
-    bool found = false;
-    while (g > k && !found) {
-      while (h < r.colEnd) {
-        const Proc owner = view.at(g, h);
-        if (owner != active &&
-            meets(rule.activeDest, view.rowHas(active, g),
-                  view.colHas(active, h)) &&
-            meets(rule.ownerPresence, view.rowHas(owner, k),
-                  view.colHas(owner, c)) &&
-            // The owner takes over (k, c); keeping that inside its pre-push
-            // enclosing rectangle guarantees no rectangle grows (§IV-A
-            // precondition). Presence in row k and column c already implies
-            // containment, so this only bites for the laxer owner rules.
-            // The fastest processor P is exempt: its rectangle plays no role
-            // in VoC or in future pushes, and holding it to the letter of
-            // §IV-A creates artificial fixed points (a solid band with
-            // ragged edges whose improving push would hand P a cell below
-            // P's current box — see DESIGN.md deviation 6). The transactional
-            // VoC guard below subsumes the rule's purpose.
-            (owner == Proc::P || rectBefore[procSlot(owner)].contains(k, c))) {
-          // Exchange: the owner inherits the vacated edge cell, the active
-          // processor moves inward.
-          view.set(k, c, owner, log);
-          view.set(g, h, active, log);
-          found = true;
-          ++h;  // do not hand the same destination to the next element
-          break;
-        }
-        ++h;
-      }
-      if (!found) {
-        h = r.colBegin;
-        --g;
-      }
-    }
-    if (!found) return std::nullopt;
-  }
-  return static_cast<int>(sources.size());
-}
-
-}  // namespace
-
 PushOutcome tryPush(Partition& q, Proc active, Direction dir,
                     const PushOptions& options) {
-  PUSHPART_CHECK_MSG(active != Proc::P,
-                     "the fastest processor P is never the active processor");
-  PushOutcome out;
-  out.direction = dir;
-  out.active = active;
-  out.vocBefore = q.volumeOfCommunication();
-  out.vocAfter = out.vocBefore;
-
-  OrientedGrid view(q, dir);
-
-  // Snapshot logical enclosing rectangles and counts for the transactional
-  // guards.
-  std::array<Rect, kNumProcs> rectBefore;
-  std::array<std::int64_t, kNumProcs> countBefore{};
-  for (Proc x : kAllProcs) {
-    rectBefore[procSlot(x)] = view.rect(x);
-    countBefore[procSlot(x)] = q.count(x);
-  }
-
-  for (PushType type :
-       {PushType::kType1, PushType::kType2, PushType::kType3, PushType::kType4,
-        PushType::kType5, PushType::kType6}) {
-    const TypeRule rule = ruleFor(type);
-    if (!options.allowEqualVoC && !rule.strictImprovement) break;
-
-    std::vector<CellUndo> log;
-    const auto moved = attemptType(view, active, rule, rectBefore, log);
-    if (!moved) {
-      rollback(q, log);
-      continue;
-    }
-
-    // Transactional guards: the paper's guarantees, enforced exactly.
-    const std::int64_t vocAfter = q.volumeOfCommunication();
-    const bool vocOk = rule.strictImprovement ? (vocAfter < out.vocBefore)
-                                              : (vocAfter <= out.vocBefore);
-    if (!vocOk) {
-      rollback(q, log);
-      continue;
-    }
-    for (Proc x : kAllProcs) {
-      // P's rectangle is unconstrained (see the finder comment above).
-      PUSHPART_CHECK_MSG(
-          x == Proc::P || rectBefore[procSlot(x)].contains(view.rect(x)),
-          "push enlarged the enclosing rectangle of " << procName(x));
-      PUSHPART_CHECK_MSG(q.count(x) == countBefore[procSlot(x)],
-                         "push changed the element count of " << procName(x));
-    }
-
-    out.applied = true;
-    out.type = type;
-    out.vocAfter = vocAfter;
-    out.elementsMoved = *moved;
-    return out;
-  }
-
-  return out;
+  return tryPushState(q, active, dir, options);
 }
 
 bool pushAvailable(const Partition& q, Proc active,
                    std::span<const Direction> dirs,
                    const PushOptions& options) {
-  Partition scratch = q;
-  for (Direction d : dirs) {
-    if (tryPush(scratch, active, d, options).applied) return true;
-  }
-  return false;
+  return pushAvailableState(q, active, dirs, options);
 }
 
 }  // namespace pushpart

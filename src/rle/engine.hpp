@@ -1,0 +1,46 @@
+// RlePartition instantiation of the state-generic push/beautify/DFA engine.
+//
+// These are the same overload names the grid exposes (tryPush, beautify,
+// fullyCondensed, ...), so differential tests and callers read identically
+// on either state; all decisions are made by the shared templates in
+// push/engine.hpp. dfaTraceArt is the ADL hook runDfaT uses to render trace
+// snapshots without dfa/ depending on rle/.
+#pragma once
+
+#include <string>
+
+#include "grid/render.hpp"
+#include "push/engine.hpp"
+#include "rle/rle_partition.hpp"
+
+namespace pushpart {
+
+inline PushOutcome tryPush(RlePartition& q, Proc active, Direction dir,
+                           const PushOptions& options = {}) {
+  return tryPushState(q, active, dir, options);
+}
+
+inline bool pushAvailable(const RlePartition& q, Proc active,
+                          std::span<const Direction> dirs,
+                          const PushOptions& options = {}) {
+  return pushAvailableState(q, active, dirs, options);
+}
+
+inline BeautifyResult beautify(RlePartition& q) { return beautifyState(q); }
+
+inline bool compactRegion(RlePartition& q, Proc x) {
+  return compactRegionState(q, x);
+}
+
+inline bool fullyCondensed(const RlePartition& q) {
+  return fullyCondensedState(q);
+}
+
+/// Trace-rendering hook for runDfaT<RlePartition> (found by ADL). Rendering
+/// is off the hot path — traces are explicitly requested — so materialising
+/// the element grid is fine.
+inline std::string dfaTraceArt(const RlePartition& q, int cells) {
+  return renderAscii(q.toPartition(), cells);
+}
+
+}  // namespace pushpart

@@ -1,0 +1,57 @@
+#include "rle/serialize.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "grid/serialize.hpp"
+
+namespace pushpart {
+
+namespace {
+
+char procChar(Proc p) {
+  switch (p) {
+    case Proc::R: return 'R';
+    case Proc::S: return 'S';
+    case Proc::P: return 'P';
+  }
+  return '?';
+}
+
+}  // namespace
+
+void saveRlePartition(const RlePartition& q, std::ostream& os) {
+  os << "pushpart-partition v1\n";
+  os << "n " << q.n() << '\n';
+  std::string line;
+  for (int i = 0; i < q.n(); ++i) {
+    line.clear();
+    std::int32_t begin = 0;
+    for (const RlePartition::Run& run : q.rowRuns(i)) {
+      line.append(static_cast<std::size_t>(run.end - begin),
+                  procChar(run.owner));
+      begin = run.end;
+    }
+    os << line << '\n';
+  }
+}
+
+void saveRlePartition(const RlePartition& q, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("saveRlePartition: cannot open " + path);
+  saveRlePartition(q, out);
+}
+
+RlePartition loadRlePartition(std::istream& is) {
+  return RlePartition(loadPartition(is));
+}
+
+RlePartition loadRlePartition(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadRlePartition: cannot open " + path);
+  return loadRlePartition(in);
+}
+
+}  // namespace pushpart

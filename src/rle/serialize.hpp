@@ -1,0 +1,26 @@
+// Run-length state persistence.
+//
+// Same v1 text format as grid/serialize.hpp — the two engines' files are
+// interchangeable byte-for-byte, so corpus counterexamples recorded by
+// either engine replay on both. The saver emits straight from the runs (no
+// element grid materialised); the loader reuses the grid loader's strict
+// validation and converts, so both engines reject exactly the same inputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rle/rle_partition.hpp"
+
+namespace pushpart {
+
+/// Writes the v1 text format (identical bytes to savePartition on the same
+/// owners).
+void saveRlePartition(const RlePartition& q, std::ostream& os);
+void saveRlePartition(const RlePartition& q, const std::string& path);
+
+/// Reads the v1 text format. Throws std::runtime_error on malformed input.
+RlePartition loadRlePartition(std::istream& is);
+RlePartition loadRlePartition(const std::string& path);
+
+}  // namespace pushpart

@@ -135,6 +135,7 @@ PlanAnswer Oracle::solveCanonical(const CanonicalKey& key,
       batch.threads = options_.searchThreads;
       batch.seed = req.searchSeed;
       batch.cancel = cancel;
+      batch.engine = options_.searchEngine;
       batch.dfa.cancelCheckEvery = options_.cancelCheckEvery;
 
       double bestExec = 0.0;

@@ -39,6 +39,7 @@
 
 #include "atlas/atlas.hpp"
 #include "atlas/prefetch.hpp"
+#include "dfa/batch.hpp"
 #include "model/machine.hpp"
 #include "serve/admission.hpp"
 #include "serve/answer.hpp"
@@ -69,6 +70,12 @@ struct OracleOptions {
   BreakerOptions breaker;
   /// How often a tier-B walk polls its cancel token, in applied pushes.
   std::int64_t cancelCheckEvery = 1024;
+  /// Engine state for tier-B search walks. The run-length engine (default)
+  /// is decision-identical to the element grid — the differential suite in
+  /// src/verify enforces it — and an order of magnitude faster on condensed
+  /// states, so batches fit tighter deadlines. kGrid remains for
+  /// differential serving tests.
+  BatchEngine searchEngine = BatchEngine::kRle;
   /// Precomputed plan surface (src/atlas). When set, a search-tier request
   /// whose ratio lands on a solved, off-boundary cell is answered by
   /// certified O(1) lookup instead of a live tier-B batch: the cell's

@@ -1,0 +1,48 @@
+// Branch-light occupancy scans over count arrays.
+//
+// The enclosing-rectangle recomputation reduces to "first/last nonzero entry
+// of an int32 count array". A naive element-at-a-time loop serialises on the
+// early-exit branch; these helpers OR eight lanes per step so the compiler
+// can vectorise the block test and only the final block is examined
+// element-wise. On the counter arrays both engines maintain, this is the
+// only remaining O(N) scan on the push hot path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace pushpart {
+
+/// Index of the first nonzero entry, or size when all entries are zero.
+inline std::size_t firstNonZero(std::span<const std::int32_t> v) {
+  const std::size_t size = v.size();
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    // The OR tree has no cross-iteration dependence, so the whole block
+    // loads and reduces in vector registers.
+    const std::int32_t any = v[i] | v[i + 1] | v[i + 2] | v[i + 3] | v[i + 4] |
+                             v[i + 5] | v[i + 6] | v[i + 7];
+    if (any != 0) break;
+  }
+  for (; i < size; ++i)
+    if (v[i] != 0) return i;
+  return size;
+}
+
+/// Index of the last nonzero entry, or size when all entries are zero.
+inline std::size_t lastNonZero(std::span<const std::int32_t> v) {
+  const std::size_t size = v.size();
+  std::size_t i = size;
+  for (; i >= 8; i -= 8) {
+    const std::int32_t any = v[i - 1] | v[i - 2] | v[i - 3] | v[i - 4] |
+                             v[i - 5] | v[i - 6] | v[i - 7] | v[i - 8];
+    if (any != 0) break;
+  }
+  while (i > 0) {
+    --i;
+    if (v[i] != 0) return i;
+  }
+  return size;
+}
+
+}  // namespace pushpart

@@ -1,12 +1,15 @@
 #include "verify/invariants.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
 
 #include "grid/serialize.hpp"
+#include "rle/engine.hpp"
+#include "rle/serialize.hpp"
 #include "shapes/archetype.hpp"
 #include "shapes/transform.hpp"
 #include "support/check.hpp"
@@ -354,6 +357,212 @@ CheckReport checkAtlasConsistency(Oracle& oracle, const PlanRequest& request,
   return report;
 }
 
+CheckReport checkRleGridAgreement(const Partition& q, const RlePartition& r) {
+  CheckReport report;
+  if (q.n() != r.n()) {
+    report.add("rle.agreement", "sizes differ: grid " + std::to_string(q.n()) +
+                                    " vs rle " + std::to_string(r.n()));
+    return report;
+  }
+  try {
+    r.validateCounters();
+  } catch (const CheckError& e) {
+    report.add("rle.counters", e.what());
+  }
+  if (!r.sameOwners(q)) {
+    // Find the first divergent cell for the shrinker; the aggregate
+    // observables below would all differ too, so stop here.
+    for (int i = 0; i < q.n(); ++i)
+      for (int j = 0; j < q.n(); ++j)
+        if (q.at(i, j) != r.at(i, j)) {
+          report.add("rle.agreement",
+                     "owners diverge first at (" + std::to_string(i) + "," +
+                         std::to_string(j) + "): grid " +
+                         std::string(1, procName(q.at(i, j))) + " vs rle " +
+                         std::string(1, procName(r.at(i, j))));
+          return report;
+        }
+    report.add("rle.agreement", "sameOwners false but no divergent cell");
+    return report;
+  }
+  for (Proc x : kAllProcs) {
+    if (q.count(x) != r.count(x))
+      report.add("rle.agreement",
+                 std::string(1, procName(x)) + " count: grid " +
+                     std::to_string(q.count(x)) + " vs rle " +
+                     std::to_string(r.count(x)));
+    if (q.rowsUsed(x) != r.rowsUsed(x) || q.colsUsed(x) != r.colsUsed(x))
+      report.add("rle.agreement",
+                 std::string(1, procName(x)) + " used lines: grid " +
+                     std::to_string(q.rowsUsed(x)) + "x" +
+                     std::to_string(q.colsUsed(x)) + " vs rle " +
+                     std::to_string(r.rowsUsed(x)) + "x" +
+                     std::to_string(r.colsUsed(x)));
+    if (q.enclosingRect(x) != r.enclosingRect(x)) {
+      std::ostringstream os;
+      os << procName(x) << " rect: grid " << q.enclosingRect(x) << " vs rle "
+         << r.enclosingRect(x);
+      report.add("rle.agreement", os.str());
+    }
+  }
+  if (q.volumeOfCommunication() != r.volumeOfCommunication())
+    report.add("rle.agreement",
+               "VoC: grid " + std::to_string(q.volumeOfCommunication()) +
+                   " vs rle " + std::to_string(r.volumeOfCommunication()));
+  for (int i = 0; i < q.n(); ++i) {
+    bool lineDiffers =
+        q.procsInRow(i) != r.procsInRow(i) || q.procsInCol(i) != r.procsInCol(i);
+    for (Proc x : kAllProcs)
+      lineDiffers = lineDiffers || q.rowCount(x, i) != r.rowCount(x, i) ||
+                    q.colCount(x, i) != r.colCount(x, i);
+    if (lineDiffers) {
+      report.add("rle.agreement",
+                 "per-line counters diverge at line " + std::to_string(i));
+      break;  // one line of evidence is enough; owners already matched
+    }
+  }
+  return report;
+}
+
+namespace {
+
+// Compares one attempt's outcome on both engines; returns false (and
+// records) on the first divergence so lockstep loops can stop with the
+// smallest trajectory prefix as evidence.
+bool outcomesAgree(const PushOutcome& g, const PushOutcome& r,
+                   const std::string& where, CheckReport& report) {
+  std::ostringstream os;
+  if (g.applied != r.applied)
+    os << "applied " << g.applied << " vs " << r.applied;
+  else if (g.applied && g.type != r.type)
+    os << "type " << pushTypeName(g.type) << " vs " << pushTypeName(r.type);
+  else if (g.vocBefore != r.vocBefore || g.vocAfter != r.vocAfter)
+    os << "voc " << g.vocBefore << "->" << g.vocAfter << " vs " << r.vocBefore
+       << "->" << r.vocAfter;
+  else if (g.elementsMoved != r.elementsMoved)
+    os << "elementsMoved " << g.elementsMoved << " vs " << r.elementsMoved;
+  else
+    return true;
+  report.add("rle.push-lockstep", where + ": grid/rle outcomes differ (" +
+                                      os.str() + ")");
+  return false;
+}
+
+}  // namespace
+
+CheckReport checkRlePushLockstep(const Partition& q0, const Schedule& schedule,
+                                 int maxSweeps) {
+  CheckReport report;
+  Partition grid = q0;
+  RlePartition rle(q0);
+  report.merge(checkRleGridAgreement(grid, rle));
+  if (!report.ok()) return report;
+
+  int attempt = 0;
+  for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+    bool any = false;
+    for (const ScheduleSlot& slot : schedule.slots) {
+      const std::string where = "sweep " + std::to_string(sweep) + " slot " +
+                                std::string(1, procName(slot.active)) + ":" +
+                                directionName(slot.dir) + " (attempt " +
+                                std::to_string(attempt++) + ")";
+      const PushOutcome g = tryPush(grid, slot.active, slot.dir);
+      const PushOutcome r = tryPush(rle, slot.active, slot.dir);
+      if (!outcomesAgree(g, r, where, report)) return report;
+      any = any || g.applied;
+      CheckReport state = checkRleGridAgreement(grid, rle);
+      if (!state.ok()) {
+        report.add("rle.push-lockstep", where + ": states diverged");
+        report.merge(state);
+        return report;
+      }
+      // Availability is part of the decision surface too: a disagreement
+      // here means the DFA would stop at different times on the two engines.
+      for (Proc x : kSlowProcs) {
+        const std::array<Direction, 1> one{slot.dir};
+        if (pushAvailable(grid, x, one) != pushAvailable(rle, x, one)) {
+          report.add("rle.push-lockstep",
+                     where + ": pushAvailable verdicts differ for " +
+                         std::string(1, procName(x)));
+          return report;
+        }
+      }
+    }
+    if (!any) break;  // common accept state reached
+  }
+  return report;
+}
+
+CheckReport checkRleDfaLockstep(const Partition& q0, const Schedule& schedule,
+                                const DfaOptions& options) {
+  CheckReport report;
+  const DfaResult g = runDfa(q0, schedule, options);
+  DfaResultT<RlePartition> r = runDfaT(RlePartition(q0), schedule, options);
+
+  if (g.stop != r.stop)
+    report.add("rle.dfa-lockstep", std::string("stop reason: grid ") +
+                                       dfaStopName(g.stop) + " vs rle " +
+                                       dfaStopName(r.stop));
+  if (g.pushesApplied != r.pushesApplied || g.sweeps != r.sweeps)
+    report.add("rle.dfa-lockstep",
+               "walk length: grid " + std::to_string(g.pushesApplied) +
+                   " pushes/" + std::to_string(g.sweeps) + " sweeps vs rle " +
+                   std::to_string(r.pushesApplied) + "/" +
+                   std::to_string(r.sweeps));
+  if (g.vocStart != r.vocStart || g.vocEnd != r.vocEnd)
+    report.add("rle.dfa-lockstep",
+               "VoC bookkeeping: grid " + std::to_string(g.vocStart) + "->" +
+                   std::to_string(g.vocEnd) + " vs rle " +
+                   std::to_string(r.vocStart) + "->" +
+                   std::to_string(r.vocEnd));
+  if (g.beautify.pushesApplied != r.beautify.pushesApplied ||
+      g.beautify.vocBefore != r.beautify.vocBefore ||
+      g.beautify.vocAfter != r.beautify.vocAfter)
+    report.add("rle.dfa-lockstep", "beautify summaries differ");
+  CheckReport finals = checkRleGridAgreement(g.final, r.final);
+  if (!finals.ok()) {
+    report.add("rle.dfa-lockstep", "final states diverged");
+    report.merge(finals);
+  }
+  return report;
+}
+
+CheckReport checkRleSerializeRoundTrip(const RlePartition& q) {
+  CheckReport report;
+  std::ostringstream first;
+  saveRlePartition(q, first);
+
+  // Cross-engine byte identity: the RLE saver emits straight from runs but
+  // must reproduce the grid serializer's v1 format bit for bit.
+  std::ostringstream viaGrid;
+  savePartition(q.toPartition(), viaGrid);
+  if (first.str() != viaGrid.str()) {
+    report.add("rle.serialize-roundtrip",
+               "RLE saver's bytes differ from the grid serializer's");
+    return report;
+  }
+
+  std::istringstream in(first.str());
+  try {
+    const RlePartition back = loadRlePartition(in);
+    if (!(back == q)) {
+      report.add("rle.serialize-roundtrip",
+                 "loaded state differs from original");
+      return report;
+    }
+    std::ostringstream second;
+    saveRlePartition(back, second);
+    if (second.str() != first.str())
+      report.add("rle.serialize-roundtrip",
+                 "save -> load -> save is not byte-identical");
+  } catch (const std::exception& e) {
+    report.add("rle.serialize-roundtrip",
+               std::string("loadRlePartition rejected its own output: ") +
+                   e.what());
+  }
+  return report;
+}
+
 CheckReport replayCorpusFile(const std::string& path) {
   CheckReport report;
   Partition q = loadPartition(path);
@@ -364,6 +573,23 @@ CheckReport replayCorpusFile(const std::string& path) {
   } catch (const std::invalid_argument& e) {
     report.add("corpus.ratio", e.what());
   }
+
+  // Run-length engine parity on the same counterexample: identical state
+  // observables, identical serialized bytes, and identical push-availability
+  // verdicts — a corpus file that locked the grid must lock the RLE too.
+  const RlePartition r(q);
+  report.merge(checkRleGridAgreement(q, r));
+  report.merge(checkRleSerializeRoundTrip(r));
+  if (fullyCondensed(q) != fullyCondensed(r))
+    report.add("rle.corpus", "fullyCondensed verdicts differ on " + path);
+  for (Proc x : kSlowProcs)
+    for (Direction d : kAllDirections) {
+      const std::array<Direction, 1> one{d};
+      if (pushAvailable(q, x, one) != pushAvailable(r, x, one))
+        report.add("rle.corpus",
+                   std::string("pushAvailable(") + procName(x) + ", " +
+                       directionName(d) + ") verdicts differ on " + path);
+    }
   return report;
 }
 

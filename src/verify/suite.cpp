@@ -83,6 +83,22 @@ PropertyRun serializeRoundTripProperty(const FailingCase& c) {
   return {CheckReport{}, std::nullopt};
 }
 
+/// The run-length engine is lockstep-equal to the element-exact grid
+/// (DESIGN.md §15): same push outcomes after every attempt, same DFA walks,
+/// same serialized bytes. Shrinks like any other property — the evidence is
+/// the start partition whose trajectory first diverged.
+PropertyRun rleGridEquivalenceProperty(const FailingCase& c) {
+  Rng rng(c.seed);
+  const Partition q0 =
+      genPartition(static_cast<GenStyle>(c.style), c.n, c.ratio, rng);
+  const Schedule schedule = genSchedule(rng);
+  CheckReport report = checkRlePushLockstep(q0, schedule);
+  if (report.ok()) report.merge(checkRleDfaLockstep(q0, schedule));
+  if (report.ok()) report.merge(checkRleSerializeRoundTrip(RlePartition(q0)));
+  if (!report.ok()) return {report, q0};
+  return {CheckReport{}, std::nullopt};
+}
+
 }  // namespace
 
 bool VerifySuiteReport::ok() const {
@@ -131,6 +147,13 @@ VerifySuiteReport runVerifySuite(const VerifySuiteOptions& options) {
   prop.maxN = options.deep ? 32 : 20;
   report.properties.push_back(
       runProperty("dfa-condensation", prop, dfaCondensationProperty));
+
+  // Differential gate for the run-length engine: every case replays a full
+  // push trajectory and a full DFA walk on both engines in lockstep.
+  prop.iterations = 20 * scale;
+  prop.maxN = options.deep ? 32 : 20;
+  report.properties.push_back(
+      runProperty("rle-grid-equivalence", prop, rleGridEquivalenceProperty));
 
   // Serving-layer tier agreement. One oracle serves every case; the request
   // carries the per-case ratio, and shrinking the grid shrinks the request.
@@ -222,7 +245,7 @@ VerifySuiteReport runVerifySuite(const VerifySuiteOptions& options) {
   }
   std::vector<int> sizes = {4, 5};
   if (options.deep) sizes.push_back(6);
-  const int dfaRuns = options.deep ? 192 : 48;
+  const int dfaRuns = options.deep ? 384 : 48;
 
   SmallNOracleOptions oracleOptions;
   oracleOptions.maxExhaustiveStates = options.maxExhaustiveStates;

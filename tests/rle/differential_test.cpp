@@ -1,0 +1,136 @@
+// The RLE differential property suite (ISSUE 8): seeded lockstep Push and
+// DFA trajectories on both engines — 1000+ trajectories per run — plus the
+// corpus replay and the threaded batch parity test that rides the TSan job.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "dfa/batch.hpp"
+#include "rle/engine.hpp"
+#include "verify/generators.hpp"
+#include "verify/invariants.hpp"
+
+namespace pushpart {
+namespace {
+
+// (trajectories per style bucket) x (styles) x (push + dfa) >= 1000: the
+// differential volume the acceptance criteria call for, kept cheap by small
+// grids. Each push-lockstep case compares the full state after every single
+// attempt; each dfa-lockstep case compares complete walks.
+constexpr int kTrajectoriesPerStyle = 130;
+
+TEST(RleDifferentialTest, PushLockstepTrajectories) {
+  int trajectories = 0;
+  for (int styleIdx = 0; styleIdx < kNumGenStyles; ++styleIdx) {
+    for (int t = 0; t < kTrajectoriesPerStyle; ++t) {
+      const std::uint64_t seed =
+          static_cast<std::uint64_t>(styleIdx) * 10000 +
+          static_cast<std::uint64_t>(t);
+      Rng rng(seed);
+      const Ratio ratio = genRatio(rng);
+      const int n = genSmallN(rng, 4, 14);
+      const Partition q0 =
+          genPartition(static_cast<GenStyle>(styleIdx), n, ratio, rng);
+      const Schedule schedule = genSchedule(rng);
+      const CheckReport report = checkRlePushLockstep(q0, schedule);
+      ASSERT_TRUE(report.ok())
+          << "style " << genStyleName(static_cast<GenStyle>(styleIdx))
+          << " seed " << seed << " n " << n << ":\n" << report.str();
+      ++trajectories;
+    }
+  }
+  EXPECT_EQ(trajectories, kNumGenStyles * kTrajectoriesPerStyle);
+}
+
+TEST(RleDifferentialTest, DfaLockstepTrajectories) {
+  int trajectories = 0;
+  for (int styleIdx = 0; styleIdx < kNumGenStyles; ++styleIdx) {
+    for (int t = 0; t < kTrajectoriesPerStyle; ++t) {
+      const std::uint64_t seed =
+          500000 + static_cast<std::uint64_t>(styleIdx) * 10000 +
+          static_cast<std::uint64_t>(t);
+      Rng rng(seed);
+      const Ratio ratio = genRatio(rng);
+      const int n = genSmallN(rng, 4, 14);
+      const Partition q0 =
+          genPartition(static_cast<GenStyle>(styleIdx), n, ratio, rng);
+      const Schedule schedule = genSchedule(rng);
+      const CheckReport report = checkRleDfaLockstep(q0, schedule);
+      ASSERT_TRUE(report.ok())
+          << "style " << genStyleName(static_cast<GenStyle>(styleIdx))
+          << " seed " << seed << " n " << n << ":\n" << report.str();
+      ++trajectories;
+    }
+  }
+  EXPECT_EQ(trajectories, kNumGenStyles * kTrajectoriesPerStyle);
+}
+
+TEST(RleDifferentialTest, TraceSnapshotsRenderIdentically) {
+  // Trace mode exercises the dfaTraceArt ADL hook on both engines.
+  Rng rng(77);
+  const Partition q0 = genPartition(GenStyle::kScattered, 10, Ratio{3, 2, 1},
+                                    rng);
+  const Schedule schedule = genSchedule(rng);
+  DfaOptions options;
+  options.traceEvery = 5;
+  options.traceCells = 10;
+  const DfaResult g = runDfa(q0, schedule, options);
+  const DfaResultT<RlePartition> r =
+      runDfaT(RlePartition(q0), schedule, options);
+  ASSERT_EQ(g.trace.size(), r.trace.size());
+  for (std::size_t s = 0; s < g.trace.size(); ++s)
+    EXPECT_EQ(g.trace[s].art, r.trace[s].art) << "snapshot " << s;
+}
+
+TEST(RleDifferentialTest, CorpusReplaysWithIdenticalVerdicts) {
+  // Every checked-in counterexample must produce the same verdicts through
+  // the RLE engine — replayCorpusFile runs the cross-engine parity checks
+  // (state agreement, serializer bytes, pushAvailable per direction).
+  const std::vector<std::string> files = corpusFiles(PUSHPART_CORPUS_DIR);
+  ASSERT_FALSE(files.empty()) << "corpus missing at " << PUSHPART_CORPUS_DIR;
+  for (const std::string& path : files) {
+    const CheckReport report = replayCorpusFile(path);
+    EXPECT_TRUE(report.ok()) << path << ":\n" << report.str();
+  }
+}
+
+// Batch parity under real threads: the kRle and kGrid engines must produce
+// bit-identical per-run results regardless of thread interleaving, and the
+// threaded RLE batch must match the serial one. This test rides the TSan
+// suite (see .github/workflows/ci.yml) to also prove the template engine's
+// thread-safety on the run-length state.
+TEST(RleDifferentialTest, ThreadedBatchesAreBitIdenticalAcrossEngines) {
+  struct RunDigest {
+    std::int64_t vocEnd = 0;
+    std::int64_t pushes = 0;
+    std::uint64_t hash = 0;
+
+    bool operator==(const RunDigest&) const = default;
+  };
+  const auto collect = [](BatchEngine engine, int threads) {
+    BatchOptions options;
+    options.n = 24;
+    options.runs = 24;
+    options.threads = threads;
+    options.seed = 99;
+    options.engine = engine;
+    std::map<int, RunDigest> digests;
+    const BatchSummary summary = runBatch(options, [&](const BatchRun& run) {
+      digests[run.runIndex] = {run.result.vocEnd, run.result.pushesApplied,
+                               run.result.final.hash()};
+    });
+    EXPECT_TRUE(summary.allCompleted());
+    EXPECT_EQ(digests.size(), 24u);
+    return digests;
+  };
+
+  const auto rleThreaded = collect(BatchEngine::kRle, 4);
+  const auto rleSerial = collect(BatchEngine::kRle, 1);
+  const auto gridThreaded = collect(BatchEngine::kGrid, 4);
+  EXPECT_EQ(rleThreaded, rleSerial);
+  EXPECT_EQ(rleThreaded, gridThreaded);
+}
+
+}  // namespace
+}  // namespace pushpart

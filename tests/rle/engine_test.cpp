@@ -1,0 +1,118 @@
+// Push/beautify engine parity on the run-length state: the shared templates
+// in push/engine.hpp instantiated on RlePartition must reproduce the grid's
+// behaviour operation by operation, including the oriented run lookups the
+// fast legality path is built on.
+#include "rle/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "grid/builder.hpp"
+#include "push/beautify.hpp"
+#include "push/oriented.hpp"
+#include "shapes/candidates.hpp"
+#include "support/rng.hpp"
+#include "verify/invariants.hpp"
+
+namespace pushpart {
+namespace {
+
+const Ratio kRatio{3, 2, 1};
+
+TEST(RleEngineTest, OrientedRunLookupMatchesCells) {
+  // The concept-gated rowRun must agree with the element view in every
+  // direction: same owner under the cursor, end strictly ahead of it.
+  Rng rng(21);
+  const RlePartition q(randomPartition(9, kRatio, rng));
+  for (Direction dir : kAllDirections) {
+    OrientedView<const RlePartition> view(q, dir);
+    for (int r = 0; r < 9; ++r)
+      for (int c = 0; c < 9; ++c) {
+        const OwnerRun run = view.rowRun(r, c);
+        EXPECT_EQ(run.owner, view.at(r, c))
+            << directionName(dir) << " (" << r << "," << c << ")";
+        EXPECT_GT(run.end, c);
+        EXPECT_LE(run.end, 9);
+        // Every cell the run claims really has that owner.
+        for (int cc = c; cc < run.end; ++cc)
+          ASSERT_EQ(view.at(r, cc), run.owner);
+      }
+  }
+}
+
+TEST(RleEngineTest, TryPushMatchesGridOutcomeByOutcome) {
+  Rng rng(31);
+  Partition grid = randomPartition(12, kRatio, rng);
+  RlePartition rle(grid);
+  for (int step = 0; step < 200; ++step) {
+    const Proc active = rng.chance(0.5) ? Proc::R : Proc::S;
+    const Direction dir = kAllDirections[rng.below(4)];
+    const PushOutcome g = tryPush(grid, active, dir);
+    const PushOutcome r = tryPush(rle, active, dir);
+    ASSERT_EQ(g.applied, r.applied) << "step " << step;
+    ASSERT_EQ(g.vocAfter, r.vocAfter) << "step " << step;
+    if (g.applied) {
+      ASSERT_EQ(g.type, r.type) << "step " << step;
+      ASSERT_EQ(g.elementsMoved, r.elementsMoved) << "step " << step;
+    }
+    ASSERT_TRUE(checkRleGridAgreement(grid, rle).ok()) << "step " << step;
+  }
+}
+
+TEST(RleEngineTest, PushAvailableAgreesEverywhere) {
+  Rng rng(37);
+  for (int round = 0; round < 10; ++round) {
+    const Partition grid = randomPartition(10, kRatio, rng);
+    const RlePartition rle(grid);
+    for (Proc x : kSlowProcs)
+      for (Direction d : kAllDirections) {
+        const std::array<Direction, 1> one{d};
+        EXPECT_EQ(pushAvailable(grid, x, one), pushAvailable(rle, x, one))
+            << procName(x) << " " << directionName(d);
+      }
+  }
+}
+
+TEST(RleEngineTest, BeautifyMatchesGrid) {
+  Rng rng(43);
+  Partition grid = randomPartition(16, kRatio, rng);
+  RlePartition rle(grid);
+  const BeautifyResult g = beautify(grid);
+  const BeautifyResult r = beautify(rle);
+  EXPECT_EQ(g.pushesApplied, r.pushesApplied);
+  EXPECT_EQ(g.vocBefore, r.vocBefore);
+  EXPECT_EQ(g.vocAfter, r.vocAfter);
+  EXPECT_TRUE(checkRleGridAgreement(grid, rle).ok());
+}
+
+TEST(RleEngineTest, CompactRegionMatchesGrid) {
+  Rng rng(47);
+  Partition grid = randomPartition(14, kRatio, rng);
+  RlePartition rle(grid);
+  for (Proc x : kSlowProcs) {
+    EXPECT_EQ(compactRegion(grid, x), compactRegion(rle, x));
+    ASSERT_TRUE(checkRleGridAgreement(grid, rle).ok());
+  }
+}
+
+TEST(RleEngineTest, FullyCondensedAgreesOnCandidatesAndRandoms) {
+  const Partition candidate =
+      makeCandidate(CandidateShape::kSquareCorner, 24, kRatio);
+  EXPECT_EQ(fullyCondensed(candidate), fullyCondensed(RlePartition(candidate)));
+  EXPECT_TRUE(fullyCondensed(RlePartition(candidate)));
+  Rng rng(53);
+  for (int round = 0; round < 8; ++round) {
+    const Partition grid = randomPartition(12, kRatio, rng);
+    EXPECT_EQ(fullyCondensed(grid), fullyCondensed(RlePartition(grid)));
+  }
+}
+
+TEST(RleEngineTest, DfaTraceRendersFromRuns) {
+  Rng rng(59);
+  const Partition grid = randomPartition(8, kRatio, rng);
+  EXPECT_EQ(dfaTraceArt(RlePartition(grid), 8), dfaTraceArt(grid, 8));
+}
+
+}  // namespace
+}  // namespace pushpart

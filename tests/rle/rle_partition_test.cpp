@@ -1,0 +1,184 @@
+// RlePartition unit tests: run normalisation under splits and merges, the
+// edge cases the representation is most likely to get wrong (length-1 runs,
+// line boundaries, alternating owners), and counter parity with the
+// element-exact grid on random mutation streams.
+#include "rle/rle_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/builder.hpp"
+#include "support/rng.hpp"
+#include "verify/invariants.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(RlePartitionTest, FillConstructionIsOneRunPerLine) {
+  const RlePartition q(5, Proc::R);
+  EXPECT_EQ(q.n(), 5);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(q.rowRunCount(i), 1);
+    ASSERT_EQ(q.colRunCount(i), 1);
+    EXPECT_EQ(q.rowRuns(i)[0].end, 5);
+    EXPECT_EQ(q.rowRuns(i)[0].owner, Proc::R);
+  }
+  EXPECT_EQ(q.count(Proc::R), 25);
+  EXPECT_EQ(q.count(Proc::P), 0);
+  EXPECT_EQ(q.totalRuns(), 5);  // row representation only
+  EXPECT_EQ(q.volumeOfCommunication(), 0);
+  q.validateCounters();
+}
+
+TEST(RlePartitionTest, SingleOwnerRowsStaySingleRuns) {
+  // Whole-row ownership: each row one run, each column n runs of
+  // alternating owners — the transposed views must disagree on run counts
+  // while agreeing on every counter.
+  const int n = 6;
+  Partition grid(n, Proc::P);
+  for (int j = 0; j < n; ++j) {
+    grid.set(0, j, Proc::R);
+    grid.set(1, j, Proc::S);
+  }
+  const RlePartition q(grid);
+  EXPECT_EQ(q.rowRunCount(0), 1);
+  EXPECT_EQ(q.rowRunCount(1), 1);
+  EXPECT_EQ(q.rowRunCount(2), 1);
+  for (int j = 0; j < n; ++j) EXPECT_EQ(q.colRunCount(j), 3);
+  EXPECT_TRUE(checkRleGridAgreement(grid, q).ok());
+}
+
+TEST(RlePartitionTest, AlternatingOwnersWorstCase) {
+  // RSRSRS... in every row: n runs per row, the representation's worst
+  // case. Everything must still agree with the grid.
+  const int n = 8;
+  Partition grid(n, Proc::P);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) grid.set(i, j, j % 2 == 0 ? Proc::R : Proc::S);
+  const RlePartition q(grid);
+  for (int i = 0; i < n; ++i) EXPECT_EQ(q.rowRunCount(i), n);
+  for (int j = 0; j < n; ++j) EXPECT_EQ(q.colRunCount(j), 1);
+  EXPECT_EQ(q.totalRuns(), static_cast<std::int64_t>(n) * n);
+  EXPECT_TRUE(checkRleGridAgreement(grid, q).ok());
+  q.validateCounters();
+}
+
+TEST(RlePartitionTest, SplitAndMergeAtLineBoundaries) {
+  const int n = 5;
+  RlePartition q(n, Proc::P);
+  Partition grid(n, Proc::P);
+
+  // Split at the line begin: [R][PPPP].
+  q.set(2, 0, Proc::R);
+  grid.set(2, 0, Proc::R);
+  EXPECT_EQ(q.rowRunCount(2), 2);
+  EXPECT_TRUE(checkRleGridAgreement(grid, q).ok());
+
+  // Split at the line end: [R][PPP][S].
+  q.set(2, n - 1, Proc::S);
+  grid.set(2, n - 1, Proc::S);
+  EXPECT_EQ(q.rowRunCount(2), 3);
+  EXPECT_TRUE(checkRleGridAgreement(grid, q).ok());
+
+  // Interior split: [R][P][R][P][S].
+  q.set(2, 2, Proc::R);
+  grid.set(2, 2, Proc::R);
+  EXPECT_EQ(q.rowRunCount(2), 5);
+  EXPECT_TRUE(checkRleGridAgreement(grid, q).ok());
+
+  // Left-neighbor merge on a length-1 gap: [RRR][P][S].
+  q.set(2, 1, Proc::R);
+  grid.set(2, 1, Proc::R);
+  EXPECT_EQ(q.rowRunCount(2), 3);
+  EXPECT_TRUE(checkRleGridAgreement(grid, q).ok());
+
+  // Both-neighbor merge erasing a length-1 run: [RRRR][S].
+  q.set(2, 3, Proc::R);
+  grid.set(2, 3, Proc::R);
+  EXPECT_EQ(q.rowRunCount(2), 2);
+  EXPECT_TRUE(checkRleGridAgreement(grid, q).ok());
+
+  // Merge back to a single full-line run.
+  q.set(2, 4, Proc::R);
+  grid.set(2, 4, Proc::R);
+  EXPECT_EQ(q.rowRunCount(2), 1);
+  EXPECT_EQ(q.rowRuns(2)[0].end, n);
+  EXPECT_TRUE(checkRleGridAgreement(grid, q).ok());
+  q.validateCounters();
+}
+
+TEST(RlePartitionTest, SameOwnerSetIsANoOp) {
+  RlePartition q(4, Proc::P);
+  const std::uint64_t before = q.hash();
+  q.set(1, 1, Proc::P);
+  EXPECT_EQ(q.hash(), before);
+  EXPECT_EQ(q.rowRunCount(1), 1);
+}
+
+TEST(RlePartitionTest, ConversionRoundTripPreservesEverything) {
+  Rng rng(7);
+  const Partition grid = randomPartition(12, Ratio{3, 2, 1}, rng);
+  const RlePartition q(grid);
+  EXPECT_TRUE(q.sameOwners(grid));
+  const Partition back = q.toPartition();
+  EXPECT_TRUE(back == grid);
+  const RlePartition again(back);
+  EXPECT_TRUE(again == q);
+}
+
+TEST(RlePartitionTest, SwapCellsMatchesGrid) {
+  Rng rng(11);
+  Partition grid = randomPartition(9, Ratio{2, 1, 1}, rng);
+  RlePartition q(grid);
+  grid.swapCells(0, 0, 8, 8);
+  q.swapCells(0, 0, 8, 8);
+  grid.swapCells(3, 4, 3, 5);
+  q.swapCells(3, 4, 3, 5);
+  EXPECT_TRUE(checkRleGridAgreement(grid, q).ok());
+}
+
+TEST(RlePartitionTest, HashDistinguishesAndEqualityHolds) {
+  RlePartition a(6, Proc::P);
+  RlePartition b(6, Proc::P);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(3, 3, Proc::R);
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.hash(), b.hash());
+  b.set(3, 3, Proc::P);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(RlePartitionTest, RandomMutationStreamStaysInLockstep) {
+  const int n = 16;
+  Rng rng(42);
+  Partition grid = randomPartition(n, Ratio{5, 2, 1}, rng);
+  RlePartition q(grid);
+  for (int step = 0; step < 2000; ++step) {
+    const int i = static_cast<int>(rng.below(n));
+    const int j = static_cast<int>(rng.below(n));
+    const Proc p = static_cast<Proc>(rng.below(3));
+    grid.set(i, j, p);
+    q.set(i, j, p);
+  }
+  EXPECT_TRUE(checkRleGridAgreement(grid, q).ok());
+  q.validateCounters();
+}
+
+TEST(RlePartitionTest, RunLookupsAgreeWithCells) {
+  Rng rng(3);
+  const Partition grid = randomPartition(10, Ratio{3, 1, 1}, rng);
+  const RlePartition q(grid);
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 10; ++j) {
+      const RlePartition::Run row = q.rowRunAt(i, j);
+      const RlePartition::Run col = q.colRunAt(j, i);
+      EXPECT_EQ(row.owner, grid.at(i, j));
+      EXPECT_EQ(col.owner, grid.at(i, j));
+      EXPECT_GT(row.end, j);
+      EXPECT_GT(col.end, i);
+    }
+}
+
+}  // namespace
+}  // namespace pushpart

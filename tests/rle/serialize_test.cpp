@@ -1,0 +1,71 @@
+// RLE serializer tests: the run-length saver must be byte-interchangeable
+// with the grid's v1 format, and the loader must inherit the grid parser's
+// strictness.
+#include "rle/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "grid/builder.hpp"
+#include "grid/serialize.hpp"
+#include "support/rng.hpp"
+#include "verify/invariants.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(RleSerializeTest, RoundTripsByteIdentically) {
+  Rng rng(5);
+  const RlePartition q(randomPartition(14, Ratio{3, 2, 1}, rng));
+  std::ostringstream first;
+  saveRlePartition(q, first);
+  std::istringstream in(first.str());
+  const RlePartition back = loadRlePartition(in);
+  EXPECT_TRUE(back == q);
+  std::ostringstream second;
+  saveRlePartition(back, second);
+  EXPECT_EQ(second.str(), first.str());
+}
+
+TEST(RleSerializeTest, BytesMatchGridSerializer) {
+  Rng rng(9);
+  const Partition grid = randomPartition(11, Ratio{2, 1, 1}, rng);
+  std::ostringstream viaGrid;
+  savePartition(grid, viaGrid);
+  std::ostringstream viaRle;
+  saveRlePartition(RlePartition(grid), viaRle);
+  EXPECT_EQ(viaRle.str(), viaGrid.str());
+}
+
+TEST(RleSerializeTest, LoadsGridSavedBytes) {
+  Rng rng(13);
+  const Partition grid = randomPartition(8, Ratio{5, 2, 1}, rng);
+  std::ostringstream out;
+  savePartition(grid, out);
+  std::istringstream in(out.str());
+  const RlePartition q = loadRlePartition(in);
+  EXPECT_TRUE(q.sameOwners(grid));
+}
+
+TEST(RleSerializeTest, LoaderInheritsGridStrictness) {
+  std::istringstream badMagic("not-a-partition v1\nn 2\nPP\nPP\n");
+  EXPECT_THROW(loadRlePartition(badMagic), std::exception);
+  std::istringstream badRow("pushpart-partition v1\nn 2\nPX\nPP\n");
+  EXPECT_THROW(loadRlePartition(badRow), std::exception);
+  std::istringstream shortRow("pushpart-partition v1\nn 2\nP\nPP\n");
+  EXPECT_THROW(loadRlePartition(shortRow), std::exception);
+}
+
+TEST(RleSerializeTest, CheckerAcceptsRandomStates) {
+  Rng rng(17);
+  for (int i = 0; i < 8; ++i) {
+    const RlePartition q(
+        randomPartition(4 + static_cast<int>(rng.below(12)),
+                        Ratio{3, 2, 1}, rng));
+    EXPECT_TRUE(checkRleSerializeRoundTrip(q).ok());
+  }
+}
+
+}  // namespace
+}  // namespace pushpart

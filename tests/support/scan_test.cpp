@@ -1,0 +1,48 @@
+#include "support/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace pushpart {
+namespace {
+
+TEST(ScanTest, EmptyAndAllZero) {
+  const std::vector<std::int32_t> empty;
+  EXPECT_EQ(firstNonZero(empty), 0u);
+  EXPECT_EQ(lastNonZero(empty), 0u);
+  const std::vector<std::int32_t> zeros(37, 0);
+  EXPECT_EQ(firstNonZero(zeros), zeros.size());
+  EXPECT_EQ(lastNonZero(zeros), zeros.size());
+}
+
+TEST(ScanTest, FindsEndpointsAcrossBlockBoundaries) {
+  // Sizes around the 8-wide block edges, with the hit at every position.
+  for (std::size_t size : {1u, 7u, 8u, 9u, 15u, 16u, 17u, 33u}) {
+    for (std::size_t pos = 0; pos < size; ++pos) {
+      std::vector<std::int32_t> v(size, 0);
+      v[pos] = 3;
+      EXPECT_EQ(firstNonZero(v), pos) << "size " << size;
+      EXPECT_EQ(lastNonZero(v), pos) << "size " << size;
+    }
+  }
+}
+
+TEST(ScanTest, FirstAndLastDifferWithMultipleHits) {
+  std::vector<std::int32_t> v(40, 0);
+  v[5] = 1;
+  v[11] = 2;
+  v[31] = 7;
+  EXPECT_EQ(firstNonZero(v), 5u);
+  EXPECT_EQ(lastNonZero(v), 31u);
+}
+
+TEST(ScanTest, DenseVectorHitsEnds) {
+  const std::vector<std::int32_t> v(24, 9);
+  EXPECT_EQ(firstNonZero(v), 0u);
+  EXPECT_EQ(lastNonZero(v), 23u);
+}
+
+}  // namespace
+}  // namespace pushpart
