@@ -1,0 +1,114 @@
+#include "adapt/estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pushpart {
+
+void RatioEstimatorOptions::validate() const {
+  if (!(alpha > 0.0) || alpha > 1.0)
+    throw std::invalid_argument("RatioEstimator: alpha must be in (0, 1]");
+  if (!(outlierClampFactor > 1.0))
+    throw std::invalid_argument(
+        "RatioEstimator: outlierClampFactor must be > 1");
+  if (demoteAfterStalls < 1)
+    throw std::invalid_argument(
+        "RatioEstimator: demoteAfterStalls must be >= 1");
+  if (!(demotedSpeedFraction > 0.0) || demotedSpeedFraction >= 1.0)
+    throw std::invalid_argument(
+        "RatioEstimator: demotedSpeedFraction must be in (0, 1)");
+}
+
+RatioEstimator::RatioEstimator(RatioEstimatorOptions options)
+    : options_(options) {
+  options_.validate();
+  for (Proc x : kAllProcs) nodes_[procSlot(x)] = NodeEstimate{};
+}
+
+void RatioEstimator::observe(const PhaseSample& sample) {
+  ++counters_.phases;
+  for (Proc x : kAllProcs) {
+    const NodeSample& obs = sample.node(x);
+    NodeEstimate& node = nodes_[procSlot(x)];
+    if (obs.dead) {
+      // Immediate demotion; the EWMA keeps the last healthy throughput as
+      // the recovery prior.
+      if (!node.demoted) ++counters_.deathDemotions;
+      node.demoted = true;
+      node.dead = true;
+      node.stallStreak = 0;
+      continue;
+    }
+    const bool progressed =
+        !obs.stalled && obs.units > 0 && obs.busySeconds > 0.0;
+    if (!progressed) {
+      ++node.stallStreak;
+      if (!node.demoted && node.stallStreak >= options_.demoteAfterStalls) {
+        node.demoted = true;
+        ++counters_.stallDemotions;
+      }
+      continue;
+    }
+    double raw = static_cast<double>(obs.units) / obs.busySeconds;
+    if (node.samples > 0) {
+      const double lo = node.throughput / options_.outlierClampFactor;
+      const double hi = node.throughput * options_.outlierClampFactor;
+      const double clamped = std::clamp(raw, lo, hi);
+      if (clamped != raw) ++counters_.clampedSamples;
+      node.throughput =
+          (1.0 - options_.alpha) * node.throughput + options_.alpha * clamped;
+    } else {
+      node.throughput = raw;  // first sample initializes the EWMA
+    }
+    ++node.samples;
+    node.stallStreak = 0;
+    if (node.demoted || node.dead) {
+      node.demoted = false;
+      node.dead = false;
+      ++counters_.recoveries;
+    }
+  }
+}
+
+RatioEstimate RatioEstimator::estimate() const {
+  RatioEstimate est;
+  est.warmedUp = true;
+  double fastestHealthy = 0.0;
+  for (Proc x : kAllProcs) {
+    const NodeEstimate& node = nodes_[procSlot(x)];
+    if (node.samples == 0) est.warmedUp = false;
+    if (!node.demoted)
+      fastestHealthy = std::max(fastestHealthy, node.throughput);
+  }
+  for (Proc x : kAllProcs) {
+    const NodeEstimate& node = nodes_[procSlot(x)];
+    double speed = node.throughput;
+    if (node.demoted && fastestHealthy > 0.0)
+      speed = options_.demotedSpeedFraction * fastestHealthy;
+    est.speed[procSlot(x)] = speed;
+  }
+  est.order = {Proc::R, Proc::S, Proc::P};
+  std::stable_sort(est.order.begin(), est.order.end(), [&](Proc a, Proc b) {
+    const double sa = est.speed[procSlot(a)];
+    const double sb = est.speed[procSlot(b)];
+    if (sa != sb) return sa > sb;
+    return procIndex(a) < procIndex(b);  // deterministic tie-break
+  });
+  return est;
+}
+
+Ratio RatioEstimate::canonical() const {
+  if (!warmedUp)
+    throw std::logic_error(
+        "RatioEstimate::canonical: estimator not warmed up (a node has no "
+        "healthy sample yet)");
+  const double fastest = speed[procSlot(order[0])];
+  const double middle = speed[procSlot(order[1])];
+  const double slowest = speed[procSlot(order[2])];
+  if (!(slowest > 0.0))
+    throw std::logic_error(
+        "RatioEstimate::canonical: non-positive slowest speed");
+  return Ratio{fastest / slowest, middle / slowest, 1.0};
+}
+
+}  // namespace pushpart

@@ -1,0 +1,108 @@
+// Per-node EWMA throughput tracking: execution telemetry in, speed ratio out.
+//
+// The paper fixes P_r : R_r : S_r for a whole run; a real platform drifts.
+// The RatioEstimator is the first stage of the adaptive loop (DESIGN.md §16):
+// it folds PhaseSamples (sim/telemetry.hpp) into one exponentially-weighted
+// moving average of throughput per processor and derives the *effective*
+// canonical ratio the platform is currently delivering. Three robustness
+// rules keep a noisy or faulty phase from wrecking the estimate:
+//
+//   outlier clamping   a raw sample is clamped into
+//                      [estimate / clamp, estimate · clamp] before it enters
+//                      the EWMA, so one absurd phase (GC pause, co-tenant
+//                      burst, timer glitch) moves the estimate by at most a
+//                      bounded factor;
+//   stall demotion     `demoteAfterStalls` consecutive no-progress phases
+//                      demote the node: its *effective* speed drops to a
+//                      floor fraction of the fastest healthy node, while the
+//                      EWMA itself is left untouched — the last healthy
+//                      throughput is the best prior for recovery;
+//   death demotion     a sample marked dead demotes immediately, same floor,
+//                      same preserved EWMA. One healthy sample lifts either
+//                      demotion and the estimate snaps back to the prior.
+//
+// The estimate orders the three processors fastest-first and reports the
+// ratio in that canonical order (sorted speeds normalized to the slowest),
+// because the serving stack's canonical space requires P_r >= R_r >= S_r = 1
+// — which physical node currently *plays* P is exactly the `order` field.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "grid/ratio.hpp"
+#include "sim/telemetry.hpp"
+
+namespace pushpart {
+
+struct RatioEstimatorOptions {
+  /// EWMA weight of the newest clamped sample (0 < alpha <= 1). 1 = no
+  /// smoothing (track the last phase verbatim).
+  double alpha = 0.3;
+  /// Outlier clamp: a raw throughput sample is clamped into
+  /// [estimate / factor, estimate · factor] before entering the EWMA.
+  /// Must be > 1.
+  double outlierClampFactor = 4.0;
+  /// Consecutive stalled / no-progress phases before a node is demoted.
+  int demoteAfterStalls = 2;
+  /// A demoted (stalled-out or dead) node's effective speed, as a fraction
+  /// of the fastest non-demoted node's estimate. Keeps the canonical ratio
+  /// finite and assigns the node a near-zero share. In (0, 1).
+  double demotedSpeedFraction = 0.02;
+
+  /// Throws std::invalid_argument on out-of-range knobs.
+  void validate() const;
+};
+
+/// One processor's tracker state, exposed for tests and diagnostics.
+struct NodeEstimate {
+  double throughput = 0.0;  ///< EWMA units/second (0 until the first sample).
+  int samples = 0;          ///< Healthy samples folded in.
+  int stallStreak = 0;      ///< Consecutive stalled / no-progress phases.
+  bool demoted = false;     ///< Stall or death demotion in force.
+  bool dead = false;        ///< Last sample reported the node dead.
+};
+
+/// A point-in-time ratio estimate. `speed` is per physical processor
+/// (procSlot order), demotion floors applied; `order` lists the processors
+/// fastest-first (ties broken by procIndex, deterministically), so
+/// order[0] is the node that should play the canonical P.
+struct RatioEstimate {
+  std::array<double, kNumProcs> speed{};
+  std::array<Proc, kNumProcs> order{};
+  bool warmedUp = false;  ///< Every node has at least one healthy sample.
+
+  /// The canonical ratio (sorted speeds, slowest normalized to 1). Only
+  /// meaningful when warmedUp; throws std::logic_error otherwise.
+  Ratio canonical() const;
+};
+
+class RatioEstimator {
+ public:
+  explicit RatioEstimator(RatioEstimatorOptions options = {});
+
+  /// Folds one phase of telemetry in. Not thread-safe (the AdaptiveSession
+  /// serializes its callers).
+  void observe(const PhaseSample& sample);
+
+  RatioEstimate estimate() const;
+  NodeEstimate node(Proc p) const { return nodes_[procSlot(p)]; }
+  const RatioEstimatorOptions& options() const { return options_; }
+
+  /// Monotonic counters across the estimator's lifetime.
+  struct Counters {
+    std::uint64_t phases = 0;           ///< observe() calls.
+    std::uint64_t clampedSamples = 0;   ///< Raw samples the clamp bounded.
+    std::uint64_t stallDemotions = 0;   ///< Demotions entered via stalls.
+    std::uint64_t deathDemotions = 0;   ///< Demotions entered via death.
+    std::uint64_t recoveries = 0;       ///< Demotions lifted by a healthy sample.
+  };
+  Counters counters() const { return counters_; }
+
+ private:
+  RatioEstimatorOptions options_;
+  std::array<NodeEstimate, kNumProcs> nodes_{};
+  Counters counters_;
+};
+
+}  // namespace pushpart

@@ -1,0 +1,133 @@
+// The adaptive serving session: telemetry in, invalidate → re-key → re-plan
+// out, through the existing Oracle.
+//
+// An AdaptiveSession (DESIGN.md §16) owns the feedback loop for one serving
+// context: it feeds every PhaseSample to a RatioEstimator, asks the
+// DriftMonitor whether the currently-served plan has gone stale at the
+// estimated ratio, and — when staleness persists — invalidates the stale
+// cache entry (PlanCache::invalidate, counted as staleInvalidations),
+// re-keys the request at the estimated canonical ratio, and re-plans
+// through Oracle::plan(). Everything the oracle already does applies
+// unchanged: canonicalization, the degradation ladder, admission control,
+// the circuit breaker, and the atlas tier all sit between the session and
+// an answer; the session only decides *when* to ask again and *for which
+// ratio*.
+//
+// Two dampers keep a boundary-hugging ratio from thrashing the solver:
+//
+//   hysteresis           staleness must persist for `hysteresisPhases`
+//                        consecutive phases before a replan fires (one
+//                        noisy phase never replans);
+//   min replan interval  replans are at least `minReplanSeconds` apart on
+//                        the session's clock (injectable; tests and drills
+//                        drive a FakeClock). Held-off staleness keeps its
+//                        streak, so the replan fires as soon as the
+//                        interval opens.
+//
+// Thread safety: observe()/start()/stats()/events() are serialized by one
+// internal mutex, so a telemetry thread and an inspector can overlap (the
+// TSan suite drives exactly that).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adapt/drift.hpp"
+#include "adapt/estimator.hpp"
+#include "serve/oracle.hpp"
+#include "support/deadline.hpp"
+
+namespace pushpart {
+
+struct AdaptiveSessionOptions {
+  /// The request template: n, algo, topology, tier and search budget are
+  /// kept; ratio is overwritten by every (re)plan.
+  PlanRequest base;
+  RatioEstimatorOptions estimator;
+  /// Staleness threshold forwarded to the DriftMonitor (percent).
+  double staleGapPct = 5.0;
+  /// Consecutive stale verdicts required before a replan fires.
+  int hysteresisPhases = 2;
+  /// Minimum seconds between replans on `clock`.
+  double minReplanSeconds = 0.0;
+  /// Session clock; null = Clock::steady(). Tests inject a FakeClock.
+  const Clock* clock = nullptr;
+
+  /// Throws std::invalid_argument on out-of-range knobs.
+  void validate() const;
+};
+
+/// Monotonic counters across the session's lifetime.
+struct AdaptiveStats {
+  std::uint64_t phases = 0;           ///< PhaseSamples observed.
+  std::uint64_t warmupPhases = 0;     ///< ... before the estimator warmed up.
+  std::uint64_t staleVerdicts = 0;    ///< Phases the monitor ruled stale.
+  std::uint64_t replans = 0;          ///< Replans executed.
+  std::uint64_t hysteresisHolds = 0;  ///< Stale, streak below threshold.
+  std::uint64_t intervalHolds = 0;    ///< Stale streak met, interval closed.
+  std::uint64_t invalidations = 0;    ///< Stale cache entries dropped.
+};
+
+/// One logged decision, on the session clock.
+struct AdaptiveEvent {
+  double at = 0.0;
+  std::string what;
+};
+
+class AdaptiveSession {
+ public:
+  /// The oracle must outlive the session. The monitor reuses the oracle's
+  /// atlas (options().atlas) as its optimality-region source.
+  AdaptiveSession(Oracle& oracle, AdaptiveSessionOptions options);
+
+  /// Solves the initial plan at base.ratio and adopts it. Must be called
+  /// once before observe(). Returns the oracle's response (which may be
+  /// degraded or shed under load — a shed start leaves the session
+  /// plan-less, and observe() keeps reporting fresh until a start
+  /// succeeds).
+  PlanResponse start(const PlanCallOptions& call = {});
+
+  /// Feeds one phase of telemetry; may invalidate + re-plan internally.
+  /// Returns the phase's drift verdict (fresh during warmup).
+  DriftVerdict observe(const PhaseSample& sample,
+                       const PlanCallOptions& call = {});
+
+  /// The currently-served plan (the last successful start()/replan answer).
+  PlanResponse current() const;
+  /// The canonical ratio the current plan was solved for.
+  Ratio plannedRatio() const;
+  /// Physical processors by the role they play in the current plan,
+  /// fastest-first: planOrder()[0] is the node serving as the canonical P.
+  std::array<Proc, kNumProcs> planOrder() const;
+
+  RatioEstimate estimate() const;
+  RatioEstimator::Counters estimatorCounters() const;
+  AdaptiveStats stats() const;
+  std::vector<AdaptiveEvent> events() const;
+
+ private:
+  double nowLocked() const { return clock_->nowSeconds(); }
+  void adoptLocked(const PlanResponse& response, const Ratio& canonicalRatio,
+                   const std::array<Proc, kNumProcs>& order);
+  void logLocked(std::string what);
+
+  Oracle& oracle_;
+  AdaptiveSessionOptions options_;
+  const Clock* clock_;
+  mutable std::mutex mutex_;
+  RatioEstimator estimator_;
+  DriftMonitor monitor_;
+  bool started_ = false;
+  PlanResponse current_;
+  CanonicalKey currentKey_;
+  Ratio plannedRatio_{2, 1, 1};
+  std::array<Proc, kNumProcs> planOrder_{Proc::P, Proc::R, Proc::S};
+  int staleStreak_ = 0;
+  double lastReplanAt_ = 0.0;
+  AdaptiveStats stats_;
+  std::vector<AdaptiveEvent> events_;
+};
+
+}  // namespace pushpart

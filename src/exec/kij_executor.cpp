@@ -162,6 +162,7 @@ ExecResult runParallelMMM(Algo algo, const Partition& q,
   const double maxSpeed = options.machine.ratio.p;
   std::array<std::thread, kNumProcs> workers;
   std::array<double, kNumProcs> busy{};
+  std::array<double, kNumProcs> emulatedBusy{};  // incl. throttle sleeps
   for (Proc x : kAllProcs) {
     const auto xi = procSlot(x);
     workers[xi] = std::thread([&, x, xi] {
@@ -184,13 +185,30 @@ ExecResult runParallelMMM(Algo algo, const Partition& q,
           macsSinceCharge = 0;
         }
       }
-      busy[xi] = total.seconds() - throttle.sleptSeconds();
+      emulatedBusy[xi] = total.seconds();
+      busy[xi] = emulatedBusy[xi] - throttle.sleptSeconds();
     });
   }
   for (auto& t : workers)
     if (t.joinable()) t.join();
   result.computeSeconds = busy;
   result.wallSeconds = wall.seconds();
+
+  if (options.telemetry) {
+    // One phase observation per run. busySeconds includes the throttle's
+    // duty-cycle sleeps: they are exactly what makes the emulated processor
+    // slow, so units / busySeconds is the heterogeneous throughput a real
+    // monitor would measure on that node.
+    PhaseSample sample;
+    sample.at = result.wallSeconds;
+    for (Proc x : kAllProcs) {
+      NodeSample& node = sample.node(x);
+      node.proc = x;
+      node.units = q.count(x) * n;
+      node.busySeconds = emulatedBusy[procSlot(x)];
+    }
+    options.telemetry(sample);
+  }
 
   // --- Verification ------------------------------------------------------
   if (options.verify) {

@@ -19,6 +19,7 @@
 #include "model/algo.hpp"
 #include "model/machine.hpp"
 #include "sim/fault.hpp"
+#include "sim/telemetry.hpp"
 
 namespace pushpart {
 
@@ -39,6 +40,12 @@ struct ExecOptions {
   FaultPlan faults{};
   /// Timeout/retransmit policy used when `faults` is enabled.
   RetryPolicy retry{};
+  /// When set, the run emits one PhaseSample on completion: per worker, the
+  /// MACs it computed and its measured busy time *including* the throttle's
+  /// duty-cycle sleeps (they are what emulates the slow processor, so
+  /// units / busySeconds is the node's observed heterogeneous throughput).
+  /// The adaptive serving loop (src/adapt) feeds on this.
+  TelemetrySink telemetry;
 };
 
 struct ExecResult {

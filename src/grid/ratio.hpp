@@ -30,8 +30,9 @@ struct Ratio {
   double fraction(Proc x) const { return speed(x) / total(); }
 
   /// Element counts {eR, eS, eP} for an N×N matrix, summing exactly to N².
-  /// R and S counts are rounded to nearest; P absorbs the remainder (it is
-  /// the largest share by assumption).
+  /// R and S counts are floored; P absorbs both remainders (it is the
+  /// largest share by assumption, and flooring keeps eP >= eR, eS even
+  /// when P ties R in speed — see the .cpp comment).
   std::array<std::int64_t, kNumProcs> elementCounts(int n) const;
 
   /// Normalized copy with s == 1 (divides all three by s).

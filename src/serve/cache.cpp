@@ -47,6 +47,17 @@ std::optional<PlanAnswer> PlanCache::tryGet(const CanonicalKey& key) {
   return it->second->answer;
 }
 
+bool PlanCache::invalidate(const CanonicalKey& key) {
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key.text);
+  if (it == shard.index.end()) return false;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  staleInvalidations_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 PlanCache::Outcome PlanCache::getOrCompute(
     const CanonicalKey& key, const std::function<PlanAnswer()>& solve,
     const Deadline& deadline) {
@@ -127,6 +138,7 @@ PlanCache::Counters PlanCache::counters() const {
   c.evictions = evictions_.load(std::memory_order_relaxed);
   c.waitTimeouts = waitTimeouts_.load(std::memory_order_relaxed);
   c.uncacheable = uncacheable_.load(std::memory_order_relaxed);
+  c.staleInvalidations = staleInvalidations_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     c.entries += shard->lru.size();

@@ -71,6 +71,14 @@ class PlanCache {
   /// Never waits on in-flight solves.
   std::optional<PlanAnswer> tryGet(const CanonicalKey& key);
 
+  /// Drops the entry for `key`, if resident, so it can never be served
+  /// again — the staleness hook for drift-adaptive serving (DESIGN.md §16).
+  /// Returns whether an entry was actually dropped; a drop counts one
+  /// staleInvalidation. An in-flight solve for the key is unaffected (its
+  /// eventual full-fidelity answer re-inserts: it is fresh by definition —
+  /// it was computed after the invalidation decision).
+  bool invalidate(const CanonicalKey& key);
+
   /// Monotonic counters across the cache's lifetime.
   struct Counters {
     std::uint64_t hits = 0;
@@ -79,6 +87,7 @@ class PlanCache {
     std::uint64_t evictions = 0;
     std::uint64_t waitTimeouts = 0;  ///< Coalesced waits that hit their deadline.
     std::uint64_t uncacheable = 0;   ///< Solves delivered but not cached (degraded).
+    std::uint64_t staleInvalidations = 0;  ///< Entries dropped via invalidate().
     std::size_t entries = 0;      ///< Current resident answers.
   };
   Counters counters() const;
@@ -133,6 +142,7 @@ class PlanCache {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> waitTimeouts_{0};
   std::atomic<std::uint64_t> uncacheable_{0};
+  std::atomic<std::uint64_t> staleInvalidations_{0};
 };
 
 }  // namespace pushpart

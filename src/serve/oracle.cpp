@@ -362,4 +362,8 @@ std::vector<PlanCache::SnapshotEntry> Oracle::exportCacheEntries() const {
   return cache_.exportEntries();
 }
 
+bool Oracle::invalidateCached(const CanonicalKey& key) {
+  return cache_.invalidate(key);
+}
+
 }  // namespace pushpart

@@ -243,6 +243,12 @@ class Oracle {
   /// PlanCache::exportEntries) — what rebalance filters by ring ownership.
   std::vector<PlanCache::SnapshotEntry> exportCacheEntries() const;
 
+  /// Drops the cached answer for `key`, if resident — the drift-adaptive
+  /// staleness hook (src/adapt): a plan ruled stale must never be re-served.
+  /// Returns whether an entry was dropped (counted in the cache's
+  /// staleInvalidations). In-flight solves are unaffected.
+  bool invalidateCached(const CanonicalKey& key);
+
   const OracleOptions& options() const { return options_; }
 
  private:

@@ -509,6 +509,30 @@ SimResult simulateFaulty(Algo algo, const Partition& q,
   return result;
 }
 
+/// One PhaseSample for a completed run: per processor the MACs it owned and
+/// the model-charged busy time, with the fault plan's stall windows and a
+/// mid-run death marked. The emitter reports, it never smooths — estimation
+/// is the consumer's job (src/adapt).
+void emitRunTelemetry(const Partition& q, const SimOptions& options,
+                      const SimResult& result) {
+  PhaseSample sample;
+  sample.at = result.execSeconds;
+  for (Proc x : kAllProcs) {
+    NodeSample& node = sample.node(x);
+    node.proc = x;
+    if (result.recovery.processorDied && result.recovery.deadProc == x) {
+      node.dead = true;  // nothing to measure: its partial results are lost
+      continue;
+    }
+    node.units = q.count(x) * q.n();
+    node.busySeconds = options.machine.computeSeconds(x, node.units);
+    for (const NicStall& stall : options.faults.stalls)
+      if (stall.proc == x && stall.at < result.execSeconds)
+        node.stalled = true;
+  }
+  options.telemetry(sample);
+}
+
 }  // namespace
 
 SimResult simulateMMM(Algo algo, const Partition& q,
@@ -516,8 +540,10 @@ SimResult simulateMMM(Algo algo, const Partition& q,
   PUSHPART_CHECK(options.chunksPerPair >= 1);
   PUSHPART_CHECK_MSG(options.machine.ratio.valid(),
                      "invalid ratio " << options.machine.ratio.str());
-  if (!options.faults.enabled()) return simulateIdeal(algo, q, options);
-  return simulateFaulty(algo, q, options);
+  SimResult result = options.faults.enabled() ? simulateFaulty(algo, q, options)
+                                              : simulateIdeal(algo, q, options);
+  if (options.telemetry) emitRunTelemetry(q, options, result);
+  return result;
 }
 
 }  // namespace pushpart

@@ -17,6 +17,7 @@
 #include "model/machine.hpp"
 #include "model/topology.hpp"
 #include "sim/network.hpp"
+#include "sim/telemetry.hpp"
 
 namespace pushpart {
 
@@ -39,6 +40,11 @@ struct SimOptions {
   /// and finish the run degraded. When false a death aborts the run
   /// (SimResult::completed == false).
   bool rebalanceOnDeath = true;
+  /// When set, the run emits one PhaseSample as it completes: per processor,
+  /// the MACs it owned (count · n) and the model-charged busy seconds at the
+  /// machine's ratio-scaled speed, with stall windows and a mid-run death
+  /// marked. The adaptive serving loop (src/adapt) feeds on this.
+  TelemetrySink telemetry;
 };
 
 /// What happened when a processor died mid-run (all zero when none did).

@@ -1,0 +1,61 @@
+// Per-phase execution telemetry: what a run observed about each processor.
+//
+// The adaptive-serving loop (src/adapt, DESIGN.md §16) closes the gap
+// between the ratio a plan was solved for and the speeds the platform is
+// actually delivering. Its raw input is one PhaseSample per executed phase —
+// an MMM run of the simulator (sim/mmm_sim.hpp) or the real threaded
+// executor (exec/kij_executor.hpp) — carrying, per processor, the work
+// completed and the busy time it took. Consumers never see absolute speeds:
+// units / busySeconds is a throughput observation, and only throughput
+// *ratios* matter downstream (the paper's P_r : R_r : S_r is scale-free).
+//
+// The emitters are deliberately dumb: they report what happened and never
+// smooth, clamp or judge — that is the RatioEstimator's job. A `stalled`
+// mark means the phase saw the processor make no usable progress (e.g. a
+// NIC stall window covered it); `dead` means the run's failure detection
+// (the simulator's death machinery, or a cluster failure detector standing
+// above the executor) confirmed the processor down for this phase. A dead
+// node's units/busySeconds are zero — there is nothing to measure.
+//
+// This header sits in sim/ (not adapt/) so both emitters can include it
+// without inverting the library layering; src/adapt depends on sim, not the
+// other way around.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "grid/proc.hpp"
+
+namespace pushpart {
+
+/// One processor's share of a phase: work done and time spent doing it.
+struct NodeSample {
+  Proc proc = Proc::P;
+  /// Work units completed (MACs for an MMM phase). Zero when dead/stalled.
+  std::int64_t units = 0;
+  /// Seconds the processor was busy on those units.
+  double busySeconds = 0.0;
+  /// The phase saw no usable progress (e.g. a NIC stall window covered it).
+  bool stalled = false;
+  /// Failure detection confirmed the processor down for this phase.
+  bool dead = false;
+};
+
+/// One executed phase's observations, indexed by procSlot (R, S, P).
+struct PhaseSample {
+  /// Instant the phase ended, on the emitter's clock (the simulator's
+  /// virtual time, the executor's wall time, or a test's FakeClock).
+  double at = 0.0;
+  std::array<NodeSample, kNumProcs> nodes{};
+
+  NodeSample& node(Proc p) { return nodes[procSlot(p)]; }
+  const NodeSample& node(Proc p) const { return nodes[procSlot(p)]; }
+};
+
+/// Telemetry hook: invoked once per executed phase, on the emitting thread.
+/// Must be cheap and must not call back into the emitter.
+using TelemetrySink = std::function<void(const PhaseSample&)>;
+
+}  // namespace pushpart

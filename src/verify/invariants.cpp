@@ -52,6 +52,35 @@ Ratio inferRatio(const Partition& q) {
   return ratio;
 }
 
+bool RatioInterval::contains(const Ratio& candidate) const {
+  const Ratio c = candidate.normalized();
+  return c.p >= lo.p && c.p <= hi.p && c.r >= lo.r && c.r <= hi.r;
+}
+
+bool RatioInterval::nearTie() const {
+  const bool prOverlap = lo.p <= hi.r && lo.r <= hi.p;
+  const bool rsStraddle = lo.r <= 1.0 && 1.0 <= hi.r;
+  return prOverlap || rsStraddle;
+}
+
+RatioInterval inferRatioInterval(const Partition& q) {
+  RatioInterval interval;
+  interval.mid = inferRatio(q);  // shares the R/S > 0 precondition check
+  const double eR = static_cast<double>(q.count(Proc::R));
+  const double eS = static_cast<double>(q.count(Proc::S));
+  const double eP = static_cast<double>(q.count(Proc::P));
+  // Count quantization (Ratio::elementCounts): R and S are *floored*, so a
+  // count of e means the true share lies in [e, e + 1); P absorbs both
+  // remainders, so its true share lies in (eP - 2, eP]. A component's
+  // extreme is its share's extreme over the opposite extreme of S's share.
+  // eS >= 1 (checked by inferRatio above), so the denominators are positive.
+  const double tiny = 1e-12;  // an eP of <= 2 would otherwise bound at <= 0
+  interval.lo = Ratio{std::max((eP - 2.0) / (eS + 1.0), tiny),
+                      std::max(eR / (eS + 1.0), tiny), 1.0};
+  interval.hi = Ratio{eP / eS, (eR + 1.0) / eS, 1.0};
+  return interval;
+}
+
 CheckReport checkCounters(const Partition& q) {
   CheckReport report;
   try {

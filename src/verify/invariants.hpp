@@ -51,6 +51,35 @@ struct CheckReport {
 /// Throws std::invalid_argument when R or S owns no cells (no finite ratio).
 Ratio inferRatio(const Partition& q);
 
+/// A component-wise confidence interval around an inferred ratio, in the
+/// canonical s == 1 scale. Element counts quantize the true shares —
+/// Ratio::elementCounts floors R and S (true share in [e, e+1)) and lets P
+/// absorb both remainders (true share in (eP − 2, eP]) — so a single
+/// partition pins the ratio only to an interval, and near-tied ratios
+/// (r ≈ s, or p ≈ r) are genuinely indistinguishable at grid granularity.
+/// The interval makes that explicit where the point estimate of inferRatio
+/// silently picks a side.
+struct RatioInterval {
+  Ratio mid{2, 1, 1};  ///< The point estimate (== inferRatio).
+  Ratio lo{2, 1, 1};   ///< Component-wise lower bounds (s pinned to 1).
+  Ratio hi{2, 1, 1};   ///< Component-wise upper bounds (s pinned to 1).
+
+  /// True when `candidate` (normalized onto the s == 1 scale) lies inside
+  /// the interval — the partition is consistent with that ratio.
+  bool contains(const Ratio& candidate) const;
+
+  /// True when the counts cannot certify the canonical strict ordering:
+  /// the p and r intervals overlap, or the r interval straddles 1. A
+  /// near-tie warns consumers (e.g. a RatioEstimator cross-check) that the
+  /// inferred ordering may be a rounding artifact.
+  bool nearTie() const;
+};
+
+/// Interval-carrying companion of inferRatio: bounds from the floor-and-
+/// absorb rounding of Ratio::elementCounts. Same precondition — R and S
+/// must own at least one cell each.
+RatioInterval inferRatioInterval(const Partition& q);
+
 /// The partition's incremental counters agree with a full O(N²) recount and
 /// every cell is owned ("grid.counters").
 CheckReport checkCounters(const Partition& q);

@@ -1,0 +1,168 @@
+#include "adapt/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pushpart {
+namespace {
+
+/// One phase where every node delivers `speed(x)` units/second over one
+/// busy second.
+PhaseSample phaseAt(double at, const Ratio& speed) {
+  PhaseSample sample;
+  sample.at = at;
+  for (Proc x : kAllProcs) {
+    sample.node(x).proc = x;
+    sample.node(x).units = static_cast<std::int64_t>(speed.speed(x) * 1e6);
+    sample.node(x).busySeconds = 1.0;
+  }
+  return sample;
+}
+
+TEST(RatioEstimatorOptionsTest, ValidateRejectsDegenerateKnobs) {
+  RatioEstimatorOptions bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = RatioEstimatorOptions{};
+  bad.outlierClampFactor = 1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = RatioEstimatorOptions{};
+  bad.demoteAfterStalls = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = RatioEstimatorOptions{};
+  bad.demotedSpeedFraction = 1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(RatioEstimatorTest, WarmupRequiresAHealthySampleFromEveryNode) {
+  RatioEstimator estimator;
+  EXPECT_FALSE(estimator.estimate().warmedUp);
+  EXPECT_THROW(estimator.estimate().canonical(), std::logic_error);
+
+  PhaseSample sample = phaseAt(0.0, Ratio{8, 3, 1.5});
+  sample.node(Proc::R).units = 0;  // R made no progress this phase
+  estimator.observe(sample);
+  EXPECT_FALSE(estimator.estimate().warmedUp);
+
+  estimator.observe(phaseAt(1.0, Ratio{8, 3, 1.5}));
+  EXPECT_TRUE(estimator.estimate().warmedUp);
+}
+
+TEST(RatioEstimatorTest, CanonicalEstimateSortsFastestFirst) {
+  RatioEstimator estimator;
+  estimator.observe(phaseAt(0.0, Ratio{8, 3, 1.5}));
+  const RatioEstimate est = estimator.estimate();
+  EXPECT_EQ(est.order[0], Proc::P);
+  EXPECT_EQ(est.order[1], Proc::R);
+  EXPECT_EQ(est.order[2], Proc::S);
+  const Ratio canonical = est.canonical();
+  EXPECT_NEAR(canonical.p, 8.0 / 1.5, 1e-9);
+  EXPECT_NEAR(canonical.r, 3.0 / 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(canonical.s, 1.0);
+}
+
+TEST(RatioEstimatorTest, OrderFollowsTheNodesNotTheLabels) {
+  // Physical R overtakes P: the canonical order must report R as the node
+  // that should play P, with the ratio still sorted fastest-first.
+  RatioEstimator estimator;
+  PhaseSample sample;
+  sample.node(Proc::R).units = 10'000'000;
+  sample.node(Proc::R).busySeconds = 1.0;
+  sample.node(Proc::S).units = 2'000'000;
+  sample.node(Proc::S).busySeconds = 1.0;
+  sample.node(Proc::P).units = 8'000'000;
+  sample.node(Proc::P).busySeconds = 1.0;
+  estimator.observe(sample);
+  const RatioEstimate est = estimator.estimate();
+  EXPECT_EQ(est.order[0], Proc::R);
+  EXPECT_EQ(est.order[1], Proc::P);
+  EXPECT_EQ(est.order[2], Proc::S);
+  const Ratio canonical = est.canonical();
+  EXPECT_NEAR(canonical.p, 5.0, 1e-9);
+  EXPECT_NEAR(canonical.r, 4.0, 1e-9);
+}
+
+TEST(RatioEstimatorTest, EwmaFoldsNewSamplesAtAlpha) {
+  RatioEstimatorOptions options;
+  options.alpha = 0.5;
+  RatioEstimator estimator(options);
+  estimator.observe(phaseAt(0.0, Ratio{4, 2, 1}));  // initializes the EWMA
+  estimator.observe(phaseAt(1.0, Ratio{8, 2, 1}));  // P doubled
+  // P: 0.5 * 4e6 + 0.5 * 8e6 = 6e6; R and S unchanged.
+  EXPECT_NEAR(estimator.node(Proc::P).throughput, 6e6, 1e-3);
+  EXPECT_NEAR(estimator.node(Proc::R).throughput, 2e6, 1e-3);
+  EXPECT_EQ(estimator.counters().phases, 2u);
+}
+
+TEST(RatioEstimatorTest, OutlierClampBoundsOnePhasesInfluence) {
+  RatioEstimatorOptions options;
+  options.alpha = 0.5;
+  options.outlierClampFactor = 2.0;
+  RatioEstimator estimator(options);
+  estimator.observe(phaseAt(0.0, Ratio{4, 2, 1}));
+  // An absurd 100x burst on P enters clamped to 2x the estimate.
+  PhaseSample burst = phaseAt(1.0, Ratio{4, 2, 1});
+  burst.node(Proc::P).units = 400'000'000;
+  estimator.observe(burst);
+  EXPECT_NEAR(estimator.node(Proc::P).throughput,
+              0.5 * 4e6 + 0.5 * 8e6, 1e-3);
+  EXPECT_EQ(estimator.counters().clampedSamples, 1u);
+}
+
+TEST(RatioEstimatorTest, StallDemotionFloorsSpeedAndPreservesThePrior) {
+  RatioEstimator estimator;  // demoteAfterStalls = 2
+  estimator.observe(phaseAt(0.0, Ratio{8, 3, 1.5}));
+
+  PhaseSample stalled = phaseAt(1.0, Ratio{8, 3, 1.5});
+  stalled.node(Proc::R).units = 0;
+  stalled.node(Proc::R).stalled = true;
+  estimator.observe(stalled);
+  EXPECT_FALSE(estimator.node(Proc::R).demoted);  // one stall is noise
+  estimator.observe(stalled);
+  EXPECT_TRUE(estimator.node(Proc::R).demoted);
+  EXPECT_EQ(estimator.counters().stallDemotions, 1u);
+
+  // Effective speed drops to the floor fraction of the fastest healthy
+  // node; the EWMA itself still remembers the last healthy throughput.
+  const RatioEstimate est = estimator.estimate();
+  EXPECT_NEAR(est.speed[procSlot(Proc::R)], 0.02 * 8e6, 1e-3);
+  EXPECT_NEAR(estimator.node(Proc::R).throughput, 3e6, 1e-3);
+
+  // One healthy sample lifts the demotion and snaps back to the prior.
+  estimator.observe(phaseAt(3.0, Ratio{8, 3, 1.5}));
+  EXPECT_FALSE(estimator.node(Proc::R).demoted);
+  EXPECT_EQ(estimator.counters().recoveries, 1u);
+  EXPECT_NEAR(estimator.estimate().speed[procSlot(Proc::R)], 3e6, 1e-3);
+}
+
+TEST(RatioEstimatorTest, DeathDemotesImmediatelyAndRecoversOnAHealthySample) {
+  RatioEstimator estimator;
+  estimator.observe(phaseAt(0.0, Ratio{8, 3, 1.5}));
+
+  PhaseSample dead = phaseAt(1.0, Ratio{8, 3, 1.5});
+  dead.node(Proc::S).units = 0;
+  dead.node(Proc::S).busySeconds = 0.0;
+  dead.node(Proc::S).dead = true;
+  estimator.observe(dead);
+  EXPECT_TRUE(estimator.node(Proc::S).demoted);
+  EXPECT_TRUE(estimator.node(Proc::S).dead);
+  EXPECT_EQ(estimator.counters().deathDemotions, 1u);
+  // Repeated dead phases count one demotion, not one per phase.
+  estimator.observe(dead);
+  EXPECT_EQ(estimator.counters().deathDemotions, 1u);
+
+  const RatioEstimate est = estimator.estimate();
+  EXPECT_NEAR(est.speed[procSlot(Proc::S)], 0.02 * 8e6, 1e-3);
+  // The canonical ratio stays finite with the dead node on the floor.
+  EXPECT_NEAR(est.canonical().p, 1.0 / 0.02, 1e-6);
+
+  estimator.observe(phaseAt(3.0, Ratio{8, 3, 1.5}));
+  EXPECT_FALSE(estimator.node(Proc::S).demoted);
+  EXPECT_FALSE(estimator.node(Proc::S).dead);
+  EXPECT_EQ(estimator.counters().recoveries, 1u);
+  EXPECT_NEAR(estimator.estimate().canonical().p, 8.0 / 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace pushpart

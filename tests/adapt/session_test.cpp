@@ -1,0 +1,204 @@
+#include "adapt/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "support/deadline.hpp"
+
+namespace pushpart {
+namespace {
+
+/// One phase of telemetry where every node delivers `speed(x)` units/second.
+PhaseSample phaseAt(double at, const Ratio& speed) {
+  PhaseSample sample;
+  sample.at = at;
+  for (Proc x : kAllProcs) {
+    sample.node(x).proc = x;
+    sample.node(x).units = static_cast<std::int64_t>(speed.speed(x) * 1e6);
+    sample.node(x).busySeconds = 1.0;
+  }
+  return sample;
+}
+
+AdaptiveSessionOptions sessionOptions(const FakeClock& clock) {
+  AdaptiveSessionOptions options;
+  options.base.n = 96;
+  options.base.ratio = Ratio{5, 2, 1};
+  options.clock = &clock;
+  return options;
+}
+
+TEST(AdaptiveSessionOptionsTest, ValidateRejectsDegenerateKnobs) {
+  AdaptiveSessionOptions bad;
+  bad.staleGapPct = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = AdaptiveSessionOptions{};
+  bad.hysteresisPhases = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = AdaptiveSessionOptions{};
+  bad.minReplanSeconds = -1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(AdaptiveSessionTest, ObserveBeforeStartReportsNoPlan) {
+  FakeClock clock;
+  Oracle oracle(OracleOptions{});
+  AdaptiveSession session(oracle, sessionOptions(clock));
+  const DriftVerdict verdict = session.observe(phaseAt(0.0, Ratio{5, 2, 1}));
+  EXPECT_FALSE(verdict.stale);
+  EXPECT_EQ(verdict.reason, DriftReason::kNoPlan);
+  EXPECT_EQ(session.stats().phases, 1u);
+}
+
+TEST(AdaptiveSessionTest, MatchingTelemetryStaysFreshAndNeverReplans) {
+  FakeClock clock;
+  Oracle oracle(OracleOptions{});
+  AdaptiveSession session(oracle, sessionOptions(clock));
+  const PlanResponse start = session.start();
+  ASSERT_FALSE(start.shed);
+
+  for (int phase = 0; phase < 10; ++phase) {
+    clock.advance(1.0);
+    const DriftVerdict verdict =
+        session.observe(phaseAt(clock.nowSeconds(), Ratio{5, 2, 1}));
+    EXPECT_FALSE(verdict.stale) << "phase " << phase;
+  }
+  const AdaptiveStats stats = session.stats();
+  EXPECT_EQ(stats.phases, 10u);
+  EXPECT_EQ(stats.replans, 0u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(stats.staleVerdicts, 0u);
+  EXPECT_EQ(session.plannedRatio(), (Ratio{5, 2, 1}));
+}
+
+TEST(AdaptiveSessionTest, HysteresisHoldsOnceThenInvalidatesAndReplans) {
+  FakeClock clock;
+  Oracle oracle(OracleOptions{});
+  AdaptiveSessionOptions options = sessionOptions(clock);
+  options.hysteresisPhases = 2;
+  AdaptiveSession session(oracle, options);
+  ASSERT_FALSE(session.start().shed);
+  const std::string keyBefore = session.current().key;
+
+  // The platform now runs at 10:3:1; the first stale phase is absorbed.
+  clock.advance(1.0);
+  const DriftVerdict first =
+      session.observe(phaseAt(clock.nowSeconds(), Ratio{10, 3, 1}));
+  EXPECT_TRUE(first.stale);
+  EXPECT_EQ(session.stats().replans, 0u);
+  EXPECT_EQ(session.stats().hysteresisHolds, 1u);
+
+  // The second consecutive stale phase fires: invalidate, re-key, re-plan.
+  clock.advance(1.0);
+  const DriftVerdict second =
+      session.observe(phaseAt(clock.nowSeconds(), Ratio{10, 3, 1}));
+  EXPECT_TRUE(second.stale);
+  const AdaptiveStats stats = session.stats();
+  EXPECT_EQ(stats.replans, 1u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.staleVerdicts, 2u);
+  EXPECT_NE(session.current().key, keyBefore);
+  // The new plan's ratio is the estimated canonical ratio.
+  EXPECT_NEAR(session.plannedRatio().p, 10.0, 1e-6);
+  EXPECT_NEAR(session.plannedRatio().r, 3.0, 1e-6);
+  // The stale entry was dropped through the oracle's cache.
+  EXPECT_EQ(oracle.stats().cache.staleInvalidations, 1u);
+
+  // Telemetry matching the new plan settles fresh again.
+  clock.advance(1.0);
+  EXPECT_FALSE(
+      session.observe(phaseAt(clock.nowSeconds(), Ratio{10, 3, 1})).stale);
+  EXPECT_EQ(session.stats().replans, 1u);
+}
+
+TEST(AdaptiveSessionTest, MinReplanIntervalDefersThenFiresWithStreakKept) {
+  FakeClock clock;
+  Oracle oracle(OracleOptions{});
+  AdaptiveSessionOptions options = sessionOptions(clock);
+  options.hysteresisPhases = 1;
+  options.minReplanSeconds = 100.0;
+  AdaptiveSession session(oracle, options);
+  ASSERT_FALSE(session.start().shed);
+
+  // Stale one second after the start: hysteresis is satisfied but the
+  // interval (measured from the start's plan) is still closed.
+  clock.advance(1.0);
+  EXPECT_TRUE(
+      session.observe(phaseAt(clock.nowSeconds(), Ratio{10, 3, 1})).stale);
+  EXPECT_EQ(session.stats().replans, 0u);
+  EXPECT_EQ(session.stats().intervalHolds, 1u);
+
+  // The interval opens: the held streak fires without re-accumulating.
+  clock.advance(100.0);
+  EXPECT_TRUE(
+      session.observe(phaseAt(clock.nowSeconds(), Ratio{10, 3, 1})).stale);
+  EXPECT_EQ(session.stats().replans, 1u);
+}
+
+TEST(AdaptiveSessionTest, WarmupPhasesNeverConsultTheMonitor) {
+  FakeClock clock;
+  Oracle oracle(OracleOptions{});
+  AdaptiveSession session(oracle, sessionOptions(clock));
+  ASSERT_FALSE(session.start().shed);
+
+  // R reports nothing for two phases: the estimator cannot be warmed up,
+  // so even wildly-off telemetry from the others is a warmup verdict.
+  PhaseSample partial = phaseAt(1.0, Ratio{50, 20, 1});
+  partial.node(Proc::R).units = 0;
+  const DriftVerdict verdict = session.observe(partial);
+  EXPECT_FALSE(verdict.stale);
+  EXPECT_EQ(verdict.reason, DriftReason::kWarmup);
+  EXPECT_EQ(session.stats().warmupPhases, 1u);
+}
+
+// A telemetry feeder and an inspector overlap freely — the session's mutex
+// serializes them. This test also rides the TSan suite (see
+// .github/workflows/ci.yml), where the lock discipline is the assertion.
+TEST(AdaptiveSessionTest, ConcurrentObserverAndInspectorStayConsistent) {
+  FakeClock clock;
+  Oracle oracle(OracleOptions{});
+  AdaptiveSessionOptions options = sessionOptions(clock);
+  options.base.n = 48;  // keep the replans cheap
+  AdaptiveSession session(oracle, options);
+  ASSERT_FALSE(session.start().shed);
+
+  constexpr int kPhases = 200;
+  std::atomic<bool> done{false};
+  std::thread observer([&]() {
+    for (int phase = 0; phase < kPhases; ++phase) {
+      // Alternate between two regimes so replans actually happen while the
+      // inspector reads.
+      const Ratio speed =
+          (phase / 25) % 2 == 0 ? Ratio{5, 2, 1} : Ratio{10, 3, 1};
+      session.observe(phaseAt(static_cast<double>(phase), speed));
+    }
+    done = true;
+  });
+  std::thread inspector([&]() {
+    std::uint64_t lastPhases = 0;
+    while (!done.load()) {
+      const AdaptiveStats stats = session.stats();
+      EXPECT_GE(stats.phases, lastPhases);  // counters are monotonic
+      lastPhases = stats.phases;
+      EXPECT_GE(stats.staleVerdicts, stats.replans);
+      (void)session.estimate();
+      (void)session.current();
+      (void)session.plannedRatio();
+      (void)session.planOrder();
+      (void)session.events();
+      std::this_thread::yield();
+    }
+  });
+  observer.join();
+  inspector.join();
+
+  EXPECT_EQ(session.stats().phases, static_cast<std::uint64_t>(kPhases));
+  EXPECT_GT(session.stats().replans, 0u);
+  EXPECT_EQ(session.stats().invalidations, session.stats().replans);
+}
+
+}  // namespace
+}  // namespace pushpart

@@ -63,6 +63,30 @@ TEST(PlanCacheTest, LruEvictsColdestAndCounts) {
   EXPECT_EQ(cache.counters().entries, 2u);
 }
 
+// The drift-adaptation contract (DESIGN.md §16): once a key is invalidated,
+// the stale answer must never be served again — the next request for the
+// same key re-solves and sees the new answer, and the drop is counted.
+TEST(PlanCacheTest, InvalidatedEntryIsNeverReServed) {
+  PlanCache cache(8, 2);
+  const CanonicalKey key = keyFor(33);
+  cache.getOrCompute(key, []() { return answerWith(1.0); });
+  EXPECT_TRUE(cache.getOrCompute(key, []() { return answerWith(1.0); }).hit);
+
+  EXPECT_TRUE(cache.invalidate(key));
+  EXPECT_EQ(cache.counters().staleInvalidations, 1u);
+  EXPECT_EQ(cache.counters().entries, 0u);
+
+  // The stale answer is gone: the same key misses and re-solves fresh.
+  const auto fresh = cache.getOrCompute(key, []() { return answerWith(9.0); });
+  EXPECT_FALSE(fresh.hit);
+  EXPECT_EQ(fresh.answer.model.execSeconds, 9.0);
+  EXPECT_TRUE(cache.getOrCompute(key, []() { return answerWith(9.0); }).hit);
+
+  // Invalidating an absent key is a no-op, not a count.
+  EXPECT_FALSE(cache.invalidate(keyFor(99)));
+  EXPECT_EQ(cache.counters().staleInvalidations, 1u);
+}
+
 TEST(PlanCacheTest, ClearDropsEntriesButKeepsCounters) {
   PlanCache cache(8, 2);
   const auto solve = [&]() { return answerWith(1.0); };

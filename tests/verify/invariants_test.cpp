@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "adapt/estimator.hpp"
 #include "dfa/schedule.hpp"
 #include "grid/builder.hpp"
 #include "shapes/candidates.hpp"
@@ -42,6 +43,69 @@ TEST(InferRatioTest, RecoversElementCountsOfGeneratingRatio) {
 TEST(InferRatioTest, ThrowsWhenASlowProcessorOwnsNothing) {
   const Partition q(6);  // all P
   EXPECT_THROW(inferRatio(q), std::invalid_argument);
+}
+
+TEST(RatioIntervalTest, BracketsGeneratingRatioAndPointEstimate) {
+  Rng rng(11);
+  for (const Ratio& ratio : {Ratio{2, 1, 1}, Ratio{5, 2, 1},
+                             Ratio{10, 3, 1}, Ratio{25, 5, 1}}) {
+    for (int n : {12, 24, 60}) {
+      const Partition q = randomPartition(n, ratio, rng);
+      const RatioInterval interval = inferRatioInterval(q);
+      // The true generating ratio and the point estimate both lie inside
+      // the quantization bounds, and the bounds are ordered.
+      EXPECT_TRUE(interval.contains(ratio))
+          << ratio.str() << " at n=" << n << " outside ["
+          << interval.lo.str() << ", " << interval.hi.str() << "]";
+      EXPECT_TRUE(interval.contains(interval.mid));
+      EXPECT_LE(interval.lo.p, interval.hi.p);
+      EXPECT_LE(interval.lo.r, interval.hi.r);
+    }
+  }
+}
+
+TEST(RatioIntervalTest, ExcludesDecisivelyDifferentRatios) {
+  Rng rng(12);
+  const Partition q = randomPartition(24, Ratio{5, 2, 1}, rng);
+  const RatioInterval interval = inferRatioInterval(q);
+  EXPECT_FALSE(interval.contains(Ratio{2, 1, 1}));
+  EXPECT_FALSE(interval.contains(Ratio{10, 3, 1}));
+  // Scale invariance: containment is judged on the normalized candidate.
+  EXPECT_TRUE(interval.contains(Ratio{10, 4, 2}));
+}
+
+TEST(RatioIntervalTest, NearTieFlagsIndistinguishableOrderings) {
+  Rng rng(13);
+  // r == s: the counts cannot certify which slow processor is R, so the r
+  // interval must straddle 1.
+  const Partition tied = randomPartition(12, Ratio{2, 1, 1}, rng);
+  EXPECT_TRUE(inferRatioInterval(tied).nearTie());
+  // A decisively ordered ratio at the same n is not a near-tie.
+  const Partition apart = randomPartition(12, Ratio{5, 2, 1}, rng);
+  EXPECT_FALSE(inferRatioInterval(apart).nearTie());
+}
+
+// Cross-check with the adaptive loop's estimator: telemetry generated at the
+// partition's own ratio must yield a canonical estimate inside the interval
+// the partition's counts pin down.
+TEST(RatioIntervalTest, ContainsRatioEstimatorCanonicalEstimate) {
+  const Ratio truth{5, 2, 1};
+  RatioEstimator estimator;
+  for (int phase = 0; phase < 8; ++phase) {
+    PhaseSample sample;
+    sample.at = phase;
+    for (Proc x : kAllProcs) {
+      sample.node(x).proc = x;
+      sample.node(x).units = static_cast<std::int64_t>(truth.speed(x) * 1e6);
+      sample.node(x).busySeconds = 1.0;
+    }
+    estimator.observe(sample);
+  }
+  const RatioEstimate estimate = estimator.estimate();
+  ASSERT_TRUE(estimate.warmedUp);
+  Rng rng(14);
+  const Partition q = randomPartition(36, truth, rng);
+  EXPECT_TRUE(inferRatioInterval(q).contains(estimate.canonical()));
 }
 
 TEST(CheckCountersTest, PassesOnFreshRandomPartition) {

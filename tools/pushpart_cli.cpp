@@ -11,6 +11,14 @@
 //                      [--deadline-ms=50] [--max-concurrency=4] [--max-queue=16]
 //                      [--snapshot=plans.snap] [--atlas=surface.atlas]
 //                      [--atlas-gap-pct=5] [--no-atlas-prefetch]
+//                      [--adaptive --observed-ratio=4:2:1 --phases=6
+//                       --stale-gap-pct=5 --hysteresis=2 --min-replan-s=0]
+//   pushpart drift     [--phases=120] [--seed=42] [--n=96] [--algo=SCB]
+//                      [--wander=0.05] [--drill=slow|kill|none] [--node=0]
+//                      [--at=30] [--until=60] [--factor=2]
+//                      [--stale-gap-pct=5] [--hysteresis=2] [--min-replan-s=0]
+//                      [--tier=fast|search] [--atlas=surface.atlas]
+//                      [--regret-bound=1.25]
 //   pushpart atlas     build --out=surface.atlas [grid/build flags]
 //                      | inspect --file=surface.atlas
 //                      | query --file=surface.atlas --ratio=7:2:1 [--n=1000]
@@ -41,7 +49,15 @@
 // shed), and --snapshot warm-starts the answer cache from a file on entry
 // and persists it back (atomic rename) on exit, reporting exactly what
 // loaded (entries restored, corrupt entries skipped, version refusals — a
-// refused snapshot starts cold instead of aborting); `cluster` runs a
+// refused snapshot starts cold instead of aborting); `plan --adaptive`
+// wraps the oracle in an AdaptiveSession (src/adapt): it plans at --ratio,
+// then feeds --phases synthetic telemetry phases at --observed-ratio and
+// shows the drift verdicts and any invalidate-and-replan the session
+// performs; `drift` runs the seeded drift drill (src/adapt/drill.hpp):
+// speeds wander, one scripted fault throttles or kills a node, and the
+// adaptive session's replans are scored against an omniscient per-phase
+// oracle — the command fails unless regret stays within --regret-bound and
+// the session re-converges after the fault window; `cluster` runs a
 // seeded, replayable fault drill against a replicated oracle cluster
 // (src/cluster): N nodes behind a consistent-hash router with k-way cache
 // replication, driven on a fake clock through one scripted fault (a node
@@ -66,6 +82,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/drill.hpp"
 #include "atlas/builder.hpp"
 #include "atlas/io.hpp"
 #include "cluster/cluster.hpp"
@@ -103,6 +120,14 @@ int usage() {
       "            [--deadline-ms=50] [--max-concurrency=4] [--max-queue=16]\n"
       "            [--snapshot=plans.snap] [--atlas=surface.atlas]\n"
       "            [--atlas-gap-pct=5] [--no-atlas-prefetch]\n"
+      "            [--adaptive --observed-ratio=4:2:1 --phases=6\n"
+      "             --stale-gap-pct=5 --hysteresis=2 --min-replan-s=0]\n"
+      "  drift     [--phases=120] [--seed=42] [--n=96] [--algo=SCB]\n"
+      "            [--wander=0.05] [--drill=slow|kill|none] [--node=0]\n"
+      "            [--at=30] [--until=60] [--factor=2]\n"
+      "            [--stale-gap-pct=5] [--hysteresis=2] [--min-replan-s=0]\n"
+      "            [--tier=fast|search] [--atlas=surface.atlas]\n"
+      "            [--regret-bound=1.25]\n"
       "  atlas     build --out=surface.atlas [--pr-min=1 --pr-max=20\n"
       "            --pr-steps=20 --rr-min=1 --rr-max=10 --rr-steps=10]\n"
       "            [--n=96] [--algo=SCB] [--search-runs=0] [--seed=1]\n"
@@ -281,11 +306,13 @@ void printPlanResponse(const PlanResponse& r) {
 void printOracleStats(const OracleStats& s) {
   std::printf(
       "cache: %llu hits, %llu misses, %llu coalesced, %llu evictions, "
-      "%zu resident\n",
+      "%llu stale-invalidations, %zu resident\n",
       static_cast<unsigned long long>(s.cache.hits),
       static_cast<unsigned long long>(s.cache.misses),
       static_cast<unsigned long long>(s.cache.coalesced),
-      static_cast<unsigned long long>(s.cache.evictions), s.cache.entries);
+      static_cast<unsigned long long>(s.cache.evictions),
+      static_cast<unsigned long long>(s.cache.staleInvalidations),
+      s.cache.entries);
   const auto line = [](const char* name,
                        const LatencyHistogram::Snapshot& h) {
     if (h.count == 0) return;
@@ -331,6 +358,66 @@ PlanCallOptions planCallFromFlags(const Flags& flags) {
   const double deadlineMs = flags.f64("deadline-ms", 0.0);
   if (deadlineMs > 0.0) call.deadline = Deadline::after(deadlineMs / 1e3);
   return call;
+}
+
+void printAdaptiveStats(const AdaptiveStats& s) {
+  std::printf(
+      "adaptive: %llu phases (%llu warmup), %llu stale verdicts, "
+      "%llu replans, %llu invalidations, %llu hysteresis holds, "
+      "%llu interval holds\n",
+      static_cast<unsigned long long>(s.phases),
+      static_cast<unsigned long long>(s.warmupPhases),
+      static_cast<unsigned long long>(s.staleVerdicts),
+      static_cast<unsigned long long>(s.replans),
+      static_cast<unsigned long long>(s.invalidations),
+      static_cast<unsigned long long>(s.hysteresisHolds),
+      static_cast<unsigned long long>(s.intervalHolds));
+}
+
+/// `plan --adaptive`: plan at --ratio, then feed --phases of synthetic
+/// telemetry at --observed-ratio (constant work per phase, busy time
+/// inversely proportional to each node's observed speed) and show the
+/// session's drift verdicts and replans.
+int runAdaptivePlan(Oracle& oracle, const Flags& flags) {
+  AdaptiveSessionOptions options;
+  options.base = planRequestFromFlags(flags);
+  options.staleGapPct = flags.f64("stale-gap-pct", 5.0);
+  options.hysteresisPhases = static_cast<int>(flags.i64("hysteresis", 2));
+  options.minReplanSeconds = flags.f64("min-replan-s", 0.0);
+  FakeClock clock;
+  options.clock = &clock;
+
+  AdaptiveSession session(oracle, options);
+  printPlanResponse(session.start(planCallFromFlags(flags)));
+
+  const Ratio observed = Ratio::parse(
+      flags.str("observed-ratio", flags.str("ratio", "5:2:1")));
+  const int phases = static_cast<int>(flags.i64("phases", 6));
+  for (int i = 0; i < phases; ++i) {
+    clock.advance(1.0);
+    PhaseSample sample;
+    sample.at = clock.nowSeconds();
+    for (Proc x : kAllProcs) {
+      NodeSample& node = sample.node(x);
+      node.proc = x;
+      node.units = 1000000;
+      node.busySeconds = 1.0 / observed.speed(x);
+    }
+    const std::uint64_t replansBefore = session.stats().replans;
+    const DriftVerdict v = session.observe(sample, planCallFromFlags(flags));
+    std::printf("phase %d: %s (%s, gap %.3g%%)%s\n", i + 1,
+                v.stale ? "STALE" : "fresh", driftReasonName(v.reason),
+                v.gapPct,
+                session.stats().replans > replansBefore ? " -> replanned"
+                                                        : "");
+  }
+  std::printf("final plan:\n");
+  printPlanResponse(session.current());
+  std::printf("estimated ratio: %s\n",
+              session.estimate().canonical().str().c_str());
+  printAdaptiveStats(session.stats());
+  printOracleStats(oracle.stats());
+  return 0;
 }
 
 int cmdPlanOracle(const Flags& flags) {
@@ -383,6 +470,12 @@ int cmdPlanOracle(const Flags& flags) {
     std::printf("snapshot: saved %zu entries to %s\n", written,
                 snapshotPath.c_str());
   };
+
+  if (flags.b("adaptive", false)) {
+    const int rc = runAdaptivePlan(oracle, flags);
+    persist();
+    return rc;
+  }
 
   if (!flags.b("repl", false)) {
     printPlanResponse(
@@ -738,6 +831,90 @@ int cmdCluster(const Flags& flags) {
   return 0;
 }
 
+int cmdDrift(const Flags& flags) {
+  OracleOptions oracleOptions;
+  oracleOptions.machine = machineFromFlags(flags, "8:3:1.5");
+  const std::string atlasPath = flags.str("atlas", "");
+  if (!atlasPath.empty()) {
+    const AtlasLoadReport report = tryLoadAtlas(atlasPath);
+    if (!report.ok())
+      std::printf("atlas: refused %s (%s); running without an atlas\n",
+                  atlasPath.c_str(), report.error.c_str());
+    else
+      oracleOptions.atlas = report.atlas;
+  }
+  Oracle oracle(oracleOptions);
+
+  DriftScenarioOptions options;
+  options.phases = static_cast<int>(flags.i64("phases", 120));
+  options.seed = static_cast<std::uint64_t>(flags.i64("seed", 42));
+  options.n = static_cast<int>(flags.i64("n", 96));
+  options.algo = parseAlgo(flags, "SCB");
+  options.wanderStep = flags.f64("wander", 0.05);
+  options.regretBound = flags.f64("regret-bound", 1.25);
+  options.session.staleGapPct = flags.f64("stale-gap-pct", 5.0);
+  options.session.hysteresisPhases =
+      static_cast<int>(flags.i64("hysteresis", 2));
+  options.session.minReplanSeconds = flags.f64("min-replan-s", 0.0);
+  options.session.base.tier = flags.str("tier", "fast") == "search"
+                                  ? PlanTier::kSearch
+                                  : PlanTier::kFast;
+
+  // One scripted fault, windows in drill-clock seconds (phases are 1 s
+  // apart); the same flags replay the same drill bit-for-bit.
+  const std::string drill = flags.str("drill", "slow");
+  const int node = static_cast<int>(flags.i64("node", 0));
+  const double at = flags.f64("at", 30.0);
+  const double until = flags.f64("until", 60.0);
+  if (drill == "slow")
+    options.faults.slowNodes.push_back(
+        SlowNode{node, at, until, flags.f64("factor", 2.0)});
+  else if (drill == "kill")
+    options.faults.kills.push_back(NodeKill{node, at, until});
+  else if (drill != "none")
+    throw std::invalid_argument("unknown --drill=" + drill);
+
+  const DriftDrillReport report = runDriftDrill(oracle, options);
+
+  std::printf("drift drill: %d phases, seed %llu, wander %g, drill=%s\n",
+              options.phases,
+              static_cast<unsigned long long>(options.seed),
+              options.wanderStep, drill.c_str());
+  for (const AdaptiveEvent& event : report.events)
+    std::printf("  t=%.3fs %s\n", event.at, event.what.c_str());
+  printAdaptiveStats(report.stats);
+  std::printf(
+      "estimator: %llu phases, %llu clamped, %llu stall demotions, "
+      "%llu death demotions, %llu recoveries\n",
+      static_cast<unsigned long long>(report.estimator.phases),
+      static_cast<unsigned long long>(report.estimator.clampedSamples),
+      static_cast<unsigned long long>(report.estimator.stallDemotions),
+      static_cast<unsigned long long>(report.estimator.deathDemotions),
+      static_cast<unsigned long long>(report.estimator.recoveries));
+  printOracleStats(oracle.stats());
+
+  bool ok = true;
+  for (const FaultWindowReport& w : report.windows) {
+    std::string tail;
+    if (w.reconverged)
+      tail = " (after " + std::to_string(w.reconvergedAfterPhases) +
+             " phases)";
+    std::printf(
+        "window: %s node %d [%g, %g)s — replan during: %s, reconverged: "
+        "%s%s\n",
+        w.kill ? "kill" : "slow", w.node, w.begin, w.end,
+        w.replanDuring ? "yes" : "NO", w.reconverged ? "yes" : "NO",
+        tail.c_str());
+    ok = ok && w.replanDuring && w.reconverged;
+  }
+  std::printf("regret: %.4fx vs omniscient per-phase oracle (bound %.4gx) — "
+              "%s\n",
+              report.regretFactor(), options.regretBound,
+              report.regretOk(options.regretBound) ? "OK" : "EXCEEDED");
+  ok = ok && report.regretOk(options.regretBound);
+  return ok ? 0 : 1;
+}
+
 int cmdCommPlan(const Flags& flags) {
   const Partition q = loadInput(flags);
   const auto plan = buildElementPlan(q);
@@ -863,6 +1040,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmdPlanOracle(flags);
     if (command == "atlas") return cmdAtlas(flags);
     if (command == "cluster") return cmdCluster(flags);
+    if (command == "drift") return cmdDrift(flags);
     if (command == "commplan") return cmdCommPlan(flags);
     if (command == "faults") return cmdFaults(flags);
     if (command == "verify") return cmdVerify(flags);
