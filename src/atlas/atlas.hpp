@@ -130,6 +130,10 @@ struct AtlasCell {
   /// percent of the winner's time (capped at kMaxGapPct when every feasible
   /// candidate ties).
   double runnerUpGapPct = 0.0;
+  /// How far the winner's VoC sits above the cell ratio's memory-independent
+  /// communication lower bound (src/bounds) at the build granularity, in
+  /// percent — the offline analogue of PlanAnswer::optimalityGapPct.
+  double lowerBoundGapPct = 0.0;
   bool searchConfirmed = false;  ///< Offline tier-B batch confirmed ranking.
   CellOrigin origin = CellOrigin::kBuilt;
 

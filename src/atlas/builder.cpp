@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "bounds/bounds.hpp"
 #include "dfa/batch.hpp"
 #include "model/models.hpp"
 #include "model/optimal.hpp"
@@ -55,6 +56,9 @@ std::optional<AtlasCell> solveAtlasCell(const AtlasGridSpec& spec,
           ? AtlasCell::kMaxGapPct
           : std::min(AtlasCell::kMaxGapPct,
                      (runnerUpExec - bestExec) / bestExec * 100.0);
+  cell.lowerBoundGapPct = std::min(
+      AtlasCell::kMaxGapPct,
+      optimalityGapPct(winner->voc, vocLowerBound(info.n, ratio)));
 
   if (info.searchBacked && info.searchRuns > 0) {
     // The offline analogue of the oracle's tier B: a seeded DFA batch whose

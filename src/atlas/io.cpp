@@ -11,7 +11,9 @@ namespace pushpart {
 
 namespace {
 
-constexpr const char* kMagic = "pushpart-atlas v1";
+// v2 added the per-cell communication lower-bound gap (lowerBoundGapPct);
+// v1 files are refused rather than silently defaulting the gap to zero.
+constexpr const char* kMagic = "pushpart-atlas v2";
 
 // Same FNV-1a as the plan-cache snapshot checksums (serve/request.cpp);
 // duplicated locally so the atlas layer does not link against serve.
@@ -43,6 +45,7 @@ std::string cellPayload(int i, int j, const AtlasCell& cell) {
      << static_cast<int>(cell.shape) << ' ' << formatDouble(cell.normVoc)
      << ' ' << formatDouble(cell.execSeconds) << ' '
      << formatDouble(cell.runnerUpGapPct) << ' '
+     << formatDouble(cell.lowerBoundGapPct) << ' '
      << (cell.searchConfirmed ? 1 : 0) << ' '
      << static_cast<int>(cell.origin);
   return os.str();
@@ -53,7 +56,8 @@ bool parseCellPayload(const std::string& payload, const AtlasGridSpec& spec,
   std::istringstream is(payload);
   int boundary = -1, shape = -1, confirmed = -1, origin = -1;
   if (!(is >> i >> j >> boundary >> shape >> cell.normVoc >>
-        cell.execSeconds >> cell.runnerUpGapPct >> confirmed >> origin))
+        cell.execSeconds >> cell.runnerUpGapPct >> cell.lowerBoundGapPct >>
+        confirmed >> origin))
     return false;
   std::string trailing;
   if (is >> trailing) return false;
@@ -65,6 +69,8 @@ bool parseCellPayload(const std::string& payload, const AtlasGridSpec& spec,
   if (!std::isfinite(cell.normVoc) || cell.normVoc < 0.0) return false;
   if (!std::isfinite(cell.execSeconds) || cell.execSeconds < 0.0) return false;
   if (!std::isfinite(cell.runnerUpGapPct) || cell.runnerUpGapPct < 0.0)
+    return false;
+  if (!std::isfinite(cell.lowerBoundGapPct) || cell.lowerBoundGapPct < 0.0)
     return false;
   cell.solved = true;
   cell.boundary = boundary == 1;

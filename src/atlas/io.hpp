@@ -1,7 +1,7 @@
 // Versioned, checksummed atlas persistence (the snapshot discipline of
 // serve/snapshot.hpp applied to the plan surface).
 //
-//   pushpart-atlas v1
+//   pushpart-atlas v2
 //   grid <prMin> <prMax> <prSteps> <rrMin> <rrMax> <rrSteps>
 //   info <n> <algo> <topology> <searchBacked> <searchRuns> <seed>
 //        <tieSnapPct> <alphaSeconds> <sendElementSeconds> <baseFlopSeconds>

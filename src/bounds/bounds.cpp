@@ -1,0 +1,55 @@
+#include "bounds/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pushpart {
+
+std::int64_t minLineSpan(std::int64_t cells, int n) {
+  if (cells <= 0) return 0;
+  const auto nn = static_cast<std::int64_t>(n);
+  PUSHPART_CHECK_MSG(cells <= nn * nn,
+                     "minLineSpan: " << cells << " cells exceed n=" << n);
+  // r + c is convex along the r·c = cells frontier with its minimum at
+  // r = √cells; only the integer neighbours of the root can win, after
+  // clamping both sides to the [1, n] box.
+  const auto root = static_cast<std::int64_t>(
+      std::floor(std::sqrt(static_cast<double>(cells))));
+  std::int64_t best = 2 * nn;  // r = c = n always satisfies r·c >= cells.
+  for (std::int64_t r = std::max<std::int64_t>(1, root - 1);
+       r <= std::min(nn, root + 2); ++r) {
+    const std::int64_t c = (cells + r - 1) / r;  // smallest c with r·c >= cells
+    if (c > nn) continue;
+    best = std::min(best, r + c);
+  }
+  return best;
+}
+
+std::int64_t vocLowerBound(int n, const std::vector<std::int64_t>& counts) {
+  if (n <= 0) return 0;
+  const auto nn = static_cast<std::int64_t>(n);
+  std::int64_t spans = 0;
+  for (const std::int64_t e : counts) spans += minLineSpan(e, n);
+  return std::max<std::int64_t>(0, nn * spans - 2 * nn * nn);
+}
+
+std::int64_t vocLowerBound(int n, const Ratio& ratio) {
+  const auto counts = ratio.elementCounts(n);
+  return vocLowerBound(n, {counts.begin(), counts.end()});
+}
+
+double normalizedVocLowerBound(const Ratio& ratio) {
+  double sum = 0.0;
+  for (const Proc x : kAllProcs) sum += std::sqrt(ratio.fraction(x));
+  return std::max(0.0, 2.0 * sum - 2.0);
+}
+
+double optimalityGapPct(std::int64_t voc, std::int64_t bound) {
+  if (voc <= bound) return 0.0;
+  const auto denom = static_cast<double>(std::max<std::int64_t>(1, bound));
+  return 100.0 * static_cast<double>(voc - bound) / denom;
+}
+
+}  // namespace pushpart

@@ -1,0 +1,56 @@
+// Memory-independent communication lower bounds (Al Daas et al.,
+// arXiv 2205.13407, specialized to the paper's owner-computes 2D model).
+//
+// The Eq. 1 Volume of Communication of any partition q of an N×N grid obeys
+// an exact identity: since Σ_X rowsUsed_X = Σ_i c_i (each processor present
+// in row i contributes once to c_i, and symmetrically for columns),
+//
+//   VoC = Σ_i N(c_i − 1) + Σ_j N(c_j − 1)
+//       = N·Σ_X (rowsUsed_X + colsUsed_X) − 2N².
+//
+// Processor X's cells fit inside its rowsUsed_X × colsUsed_X bounding lines,
+// so rowsUsed_X · colsUsed_X ≥ e_X, and the minimum of r + c subject to
+// r·c ≥ e and 1 ≤ r, c ≤ N is attained near r = c = √e (the AM–GM /
+// Loomis–Whitney step of the memory-independent bound). Hence for ANY
+// partition with element counts {e_X}:
+//
+//   VoC ≥ N·Σ_X minLineSpan(e_X, N) − 2N²          (integer form)
+//   VoC/N² ≥ 2·Σ_X √(e_X/N²) − 2                   (continuous form)
+//
+// This holds for every arrangement — not just our candidate families — so
+// (voc − bound)/bound is a certified optimality gap: "this plan communicates
+// within X% of any possible partition".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/ratio.hpp"
+
+namespace pushpart {
+
+/// min{r + c : r·c ≥ cells, 1 ≤ r, c ≤ n} — the smallest number of grid
+/// lines (rows plus columns) that can bound a region of `cells` cells.
+/// Returns 0 for cells <= 0. Requires cells <= n².
+std::int64_t minLineSpan(std::int64_t cells, int n);
+
+/// Integer lower bound on the VoC of any partition of an n×n grid with the
+/// given per-processor element counts (zero counts contribute nothing).
+/// Clamped at 0 (for tiny grids the identity can go negative).
+std::int64_t vocLowerBound(int n, const std::vector<std::int64_t>& counts);
+
+/// Convenience: the bound at the ratio's exact element counts (Eq. 12) —
+/// the per-scenario bound every served 3-processor plan is compared to.
+std::int64_t vocLowerBound(int n, const Ratio& ratio);
+
+/// Continuous form, normalized by N²: 2·(√fP + √fR + √fS) − 2 where f_X is
+/// X's area fraction. The n → ∞ limit of vocLowerBound(n, ratio)/n².
+double normalizedVocLowerBound(const Ratio& ratio);
+
+/// Certified optimality gap, percent: 100·(voc − bound)/bound. A correct
+/// bound makes this >= 0 for every realizable partition (the verify suite
+/// asserts it). Returns 0 when voc <= bound; guards bound == 0 (degenerate
+/// tiny grids) by reporting against a bound of 1.
+double optimalityGapPct(std::int64_t voc, std::int64_t bound);
+
+}  // namespace pushpart

@@ -1,0 +1,32 @@
+#include "family/build.hpp"
+
+#include <algorithm>
+
+namespace pushpart::family_detail {
+
+std::vector<int> allotLines(int n, const std::vector<int>& minLines,
+                            const std::vector<double>& targetLines) {
+  std::vector<int> out = minLines;
+  int used = 0;
+  for (const int m : out) used += m;
+  if (used > n) return {};
+  int surplus = n - used;
+  while (surplus > 0) {
+    // Hand each surplus line to the band furthest below its target share;
+    // ties resolve to the earliest band (deterministic).
+    std::size_t pick = 0;
+    double bestDeficit = -1e300;
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const double deficit = targetLines[k] - static_cast<double>(out[k]);
+      if (deficit > bestDeficit) {
+        bestDeficit = deficit;
+        pick = k;
+      }
+    }
+    ++out[pick];
+    --surplus;
+  }
+  return out;
+}
+
+}  // namespace pushpart::family_detail

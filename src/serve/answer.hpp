@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "family/family.hpp"
 #include "model/models.hpp"
 #include "serve/request.hpp"
 #include "shapes/candidates.hpp"
@@ -37,7 +39,10 @@ constexpr const char* degradeReasonName(DegradeReason r) {
 /// full-fidelity answers are cached: a degraded or truncated answer is
 /// served once and recomputed on the next request.
 struct PlanAnswer {
-  CandidateShape shape = CandidateShape::kSquareCorner;  ///< Recommendation.
+  /// Best *canonical* shape for the request — always set, even when an
+  /// extended family member is served (family/familyCandidate below), so
+  /// shape-keyed consumers (atlas certificates, replication) stay coherent.
+  CandidateShape shape = CandidateShape::kSquareCorner;
   ModelResult model;        ///< Modeled timing of the recommended partition.
   std::int64_t voc = 0;     ///< Volume of Communication of that partition.
   PlanTier tier = PlanTier::kFast;  ///< Tier the request asked for.
@@ -59,6 +64,18 @@ struct PlanAnswer {
   // Tier-B evidence (all zero for tier A): the budgeted DFA batch search
   // cross-checks the candidate ranking the way the paper's §VII experiments
   // validate §IX's shapes.
+  // Lower-bound evidence (src/bounds): how far the served partition's VoC
+  // sits above the scenario's memory-independent communication lower bound,
+  // in percent (0 when the bound is met). Computed for every answer.
+  double optimalityGapPct = 0.0;
+  // Family evidence (src/family): which candidate family the served
+  // partition came from and its registry token ("Square-Corner",
+  // "layers:P/R-S:r", ...). Canonical unless the oracle ranked extended
+  // families and one strictly beat every canonical shape — then model/voc
+  // above are the family winner's while shape stays the canonical best.
+  FamilyId family = FamilyId::kCanonical;
+  std::string familyCandidate;
+
   int searchRuns = 0;        ///< Walks requested.
   int searchCompleted = 0;   ///< Walks that reached an accept state.
   std::int64_t searchBestVoc = 0;       ///< Best VoC among searched finals.

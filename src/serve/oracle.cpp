@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <utility>
 
+#include "bounds/bounds.hpp"
 #include "dfa/batch.hpp"
+#include "family/rank.hpp"
 #include "model/optimal.hpp"
 #include "support/stopwatch.hpp"
 
@@ -51,12 +53,37 @@ PlanAnswer Oracle::solveCanonical(const CanonicalKey& key,
   answer.voc = best.voc;
   answer.tier = req.tier;
   answer.servedTier = PlanTier::kFast;
+  // Lower-bound evidence rides every answer: the bound depends only on
+  // (n, ratio), so one computation covers whichever candidate is served.
+  const std::int64_t vocBound = vocLowerBound(req.n, req.ratio);
+  answer.optimalityGapPct = pushpart::optimalityGapPct(best.voc, vocBound);
+  answer.familyCandidate = candidateName(best.shape);
+
+  // Extended families: rank layered/hierarchical members alongside the six
+  // shapes and adopt a family winner only when it *strictly* beats the
+  // canonical best — ties keep the paper's shape (and its closed-form
+  // pedigree). shape stays the canonical best either way.
+  if (options_.families.extended()) {
+    if (std::optional<FamilyRanked> fam =
+            bestFamilyCandidate(req.algo, req.n, machine, options_.families,
+                                req.topology, req.star)) {
+      if (fam->model.execSeconds < answer.model.execSeconds) {
+        answer.family = fam->family;
+        answer.familyCandidate = fam->name;
+        answer.model = fam->model;
+        answer.voc = fam->voc;
+        answer.optimalityGapPct = pushpart::optimalityGapPct(fam->voc, vocBound);
+      }
+    }
+  }
 
   // The atlas tier: between tier A (we already hold the exact closed-form
   // winner) and tier B (the expensive batch this lookup exists to skip).
   // Only search-tier requests consult it — for tier A the ranking above IS
-  // the full answer.
-  if (req.tier == PlanTier::kSearch && consultAtlas && options_.atlas) {
+  // the full answer. Extended-family serving skips it: the surface knows
+  // only canonical shapes.
+  if (req.tier == PlanTier::kSearch && consultAtlas && options_.atlas &&
+      !options_.families.extended()) {
     const AtlasLookup lk = options_.atlas->lookup(req.ratio);
     if (!lk.hit) {
       atlasMisses_.fetch_add(1, std::memory_order_relaxed);
@@ -98,6 +125,9 @@ PlanAnswer Oracle::solveCanonical(const CanonicalKey& key,
           answer.shape = served.shape;
           answer.model = served.model;
           answer.voc = served.voc;
+          answer.familyCandidate = candidateName(served.shape);
+          answer.optimalityGapPct =
+              pushpart::optimalityGapPct(served.voc, vocBound);
           answer.atlasServed = true;
           answer.atlasCertGapPct = std::max(winnerGapPct, surfaceGapPct);
           answer.atlasI = lk.i;

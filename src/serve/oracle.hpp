@@ -86,6 +86,13 @@ struct OracleOptions {
   /// Certificate acceptance bound, percent. An atlas answer whose
   /// certificate gap exceeds this falls back to the live search.
   double atlasGapPct = 5.0;
+  /// Which candidate families tier A ranks (src/family). Default: canonical
+  /// only — the paper's six shapes, with the atlas tier fully usable. An
+  /// extended selection also ranks layered/hierarchical members, serves the
+  /// family winner when it strictly beats every canonical shape, and skips
+  /// the atlas tier (its surface is canonical-only, so its certificates
+  /// cannot vouch for extended winners).
+  FamilySet families = FamilySet::canonicalOnly();
   /// Speculatively solve the missed cell and its 4-neighborhood in the
   /// background when a lookup lands on an unsolved cell.
   bool atlasPrefetch = true;

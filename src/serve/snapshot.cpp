@@ -13,10 +13,11 @@ namespace pushpart {
 namespace {
 
 // v2 added the atlas provenance fields (atlasServed, atlasCertGapPct,
-// atlasI, atlasJ) to the payload; v1 files are refused — a silently
+// atlasI, atlasJ); v3 added the family/lower-bound evidence (family,
+// familyCandidate, optimalityGapPct). Older files are refused — a silently
 // restored answer missing its provenance would misreport the sources
-// breakdown forever.
-constexpr const char* kMagic = "pushpart-plancache v2";
+// breakdown (or claim a zero gap it never computed) forever.
+constexpr const char* kMagic = "pushpart-plancache v3";
 
 std::string formatDouble(double v) {
   char buf[40];
@@ -24,8 +25,9 @@ std::string formatDouble(double v) {
   return buf;
 }
 
-/// The answer's 20 numeric fields, space-separated, in a fixed order the
-/// loader mirrors. Booleans and enums travel as integers.
+/// The answer's 23 fields, space-separated, in a fixed order the loader
+/// mirrors. Booleans and enums travel as integers; the familyCandidate
+/// token is space-free by construction (serialized as "-" when empty).
 std::string payloadFor(const PlanCache::SnapshotEntry& entry) {
   const PlanAnswer& a = entry.answer;
   std::ostringstream os;
@@ -41,7 +43,10 @@ std::string payloadFor(const PlanCache::SnapshotEntry& entry) {
      << formatDouble(a.searchBestExecSeconds) << ' '
      << (a.searchConfirmedCandidate ? 1 : 0) << ' '
      << (a.atlasServed ? 1 : 0) << ' ' << formatDouble(a.atlasCertGapPct)
-     << ' ' << a.atlasI << ' ' << a.atlasJ;
+     << ' ' << a.atlasI << ' ' << a.atlasJ << ' '
+     << static_cast<int>(a.family) << ' '
+     << (a.familyCandidate.empty() ? "-" : a.familyCandidate) << ' '
+     << formatDouble(a.optimalityGapPct);
   return os.str();
 }
 
@@ -58,14 +63,16 @@ bool parsePayload(const std::string& payload,
                   PlanCache::SnapshotEntry& entry) {
   std::istringstream is(payload);
   int shape = -1, tier = -1, servedTier = -1, degrade = -1, truncated = -1,
-      confirmed = -1, atlasServed = -1;
+      confirmed = -1, atlasServed = -1, family = -1;
+  std::string familyCandidate;
   PlanAnswer a;
   if (!(is >> entry.key >> shape >> a.model.commSeconds >>
         a.model.overlapSeconds >> a.model.compSeconds >>
         a.model.execSeconds >> a.voc >> tier >> servedTier >> degrade >>
         truncated >> a.solveSeconds >> a.searchRuns >> a.searchCompleted >>
         a.searchBestVoc >> a.searchBestExecSeconds >> confirmed >>
-        atlasServed >> a.atlasCertGapPct >> a.atlasI >> a.atlasJ))
+        atlasServed >> a.atlasCertGapPct >> a.atlasI >> a.atlasJ >> family >>
+        familyCandidate >> a.optimalityGapPct))
     return false;
   std::string trailing;
   if (is >> trailing) return false;
@@ -79,6 +86,10 @@ bool parsePayload(const std::string& payload,
   if (atlasServed < 0 || atlasServed > 1) return false;
   if (!(a.atlasCertGapPct >= 0.0)) return false;
   if (a.atlasI < -1 || a.atlasJ < -1) return false;
+  if (family < 0 || family >= kNumFamilies) return false;
+  if (!(a.optimalityGapPct >= 0.0)) return false;
+  a.family = static_cast<FamilyId>(family);
+  a.familyCandidate = familyCandidate == "-" ? "" : familyCandidate;
   a.shape = static_cast<CandidateShape>(shape);
   a.tier = static_cast<PlanTier>(tier);
   a.servedTier = static_cast<PlanTier>(servedTier);

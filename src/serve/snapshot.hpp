@@ -3,9 +3,9 @@
 // A restarted oracle starts cold: every hot key pays a full solve again.
 // Snapshots fix that with a versioned, per-entry-checksummed text file:
 //
-//   pushpart-plancache v2
+//   pushpart-plancache v3
 //   entries <count>
-//   e <fnv1a-16-hex> <key-text> <20 numeric answer fields>
+//   e <fnv1a-16-hex> <key-text> <23 answer fields>
 //   ...
 //
 // Writing is crash-safe: the file is written to "<path>.tmp" and atomically

@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "atlas/builder.hpp"
+#include "bounds/bounds.hpp"
 #include "dfa/batch.hpp"
+#include "family/family.hpp"
 #include "shapes/candidates.hpp"
 #include "verify/generators.hpp"
 
@@ -99,6 +101,59 @@ PropertyRun rleGridEquivalenceProperty(const FailingCase& c) {
   return {CheckReport{}, std::nullopt};
 }
 
+/// Family-registry soundness (DESIGN.md §17): every candidate the registry
+/// emits sits on or above the memory-independent communication lower bound
+/// (gap >= 0), the union over all families never loses to the canonical
+/// best (the six shapes are registry members, so at worst it ties), and on
+/// grids small enough for the exhaustive oracle the true optimum floors
+/// both — candidates from any family are upper bounds, the bound is a
+/// lower bound, and the optimum sits between them.
+PropertyRun familyBeatsOrTiesCanonicalProperty(
+    const FailingCase& c, const SmallNOracleOptions& oracleOptions) {
+  const std::int64_t bound = vocLowerBound(c.n, c.ratio);
+  constexpr std::int64_t kNoCandidate =
+      std::numeric_limits<std::int64_t>::max();
+  std::int64_t canonicalBest = kNoCandidate;
+  std::int64_t familyBest = kNoCandidate;
+  std::optional<Partition> bestPartition;
+  CheckReport r;
+  builtinFamilies().forEach(
+      c.n, c.ratio, FamilySet::all(), [&](const FamilyCandidate& cand) {
+        const std::int64_t voc = cand.partition.volumeOfCommunication();
+        if (voc < bound)
+          r.add("family.lower-bound",
+                cand.name + " VoC " + std::to_string(voc) +
+                    " undercuts the communication lower bound " +
+                    std::to_string(bound));
+        if (cand.family == FamilyId::kCanonical)
+          canonicalBest = std::min(canonicalBest, voc);
+        if (voc < familyBest) {
+          familyBest = voc;
+          bestPartition = cand.partition;
+        }
+      });
+  if (canonicalBest != kNoCandidate && familyBest > canonicalBest)
+    r.add("family.beats-or-ties-canonical",
+          "union best VoC " + std::to_string(familyBest) +
+              " loses to canonical best " + std::to_string(canonicalBest));
+  const SmallNOracleResult oracle =
+      smallNOptimalVoc(c.n, c.ratio, oracleOptions);
+  if (oracle.tier == SmallNOracleTier::kExhaustive) {
+    if (familyBest != kNoCandidate && familyBest < oracle.minVoc)
+      r.add("family.exhaustive-floor",
+            "family candidate VoC " + std::to_string(familyBest) +
+                " undercuts the exhaustive optimum " +
+                std::to_string(oracle.minVoc));
+    if (bound > oracle.minVoc)
+      r.add("bounds.exhaustive-floor",
+            "lower bound " + std::to_string(bound) +
+                " exceeds the exhaustive optimum " +
+                std::to_string(oracle.minVoc));
+  }
+  if (!r.ok()) return {r, bestPartition};
+  return {CheckReport{}, std::nullopt};
+}
+
 }  // namespace
 
 bool VerifySuiteReport::ok() const {
@@ -154,6 +209,21 @@ VerifySuiteReport runVerifySuite(const VerifySuiteOptions& options) {
   prop.maxN = options.deep ? 32 : 20;
   report.properties.push_back(
       runProperty("rle-grid-equivalence", prop, rleGridEquivalenceProperty));
+
+  // Candidate-family soundness on exhaustively checkable grids: bound <=
+  // optimum <= union best <= canonical best, for every generated ratio.
+  {
+    SmallNOracleOptions familyOracle;
+    familyOracle.maxExhaustiveStates = options.maxExhaustiveStates;
+    prop.iterations = 6 * scale;
+    prop.minN = 4;
+    prop.maxN = 6;
+    report.properties.push_back(runProperty(
+        "family-beats-or-ties-canonical", prop,
+        [&](const FailingCase& c) -> PropertyRun {
+          return familyBeatsOrTiesCanonicalProperty(c, familyOracle);
+        }));
+  }
 
   // Serving-layer tier agreement. One oracle serves every case; the request
   // carries the per-case ratio, and shrinking the grid shrinks the request.

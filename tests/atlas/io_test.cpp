@@ -51,10 +51,10 @@ TEST(AtlasIoTest, SaveLoadSaveIsByteIdentical) {
 
 TEST(AtlasIoTest, FutureVersionIsRefusedWhole) {
   std::string text = savedText(*builtAtlas());
-  const std::string magic = "pushpart-atlas v1";
+  const std::string magic = "pushpart-atlas v2";
   const auto pos = text.find(magic);
   ASSERT_NE(pos, std::string::npos);
-  text.replace(pos, magic.size(), "pushpart-atlas v2");
+  text.replace(pos, magic.size(), "pushpart-atlas v3");
 
   std::istringstream is(text);
   const AtlasLoadReport report = tryLoadAtlas(is);

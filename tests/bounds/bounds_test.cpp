@@ -1,0 +1,108 @@
+#include "bounds/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shapes/candidates.hpp"
+#include "verify/oracle.hpp"
+
+namespace pushpart {
+namespace {
+
+TEST(MinLineSpan, SmallExactValues) {
+  EXPECT_EQ(minLineSpan(0, 10), 0);
+  EXPECT_EQ(minLineSpan(-3, 10), 0);
+  EXPECT_EQ(minLineSpan(1, 10), 2);   // 1x1
+  EXPECT_EQ(minLineSpan(2, 10), 3);   // 1x2
+  EXPECT_EQ(minLineSpan(3, 10), 4);   // 1x3 or 2x2
+  EXPECT_EQ(minLineSpan(4, 10), 4);   // 2x2
+  EXPECT_EQ(minLineSpan(5, 10), 5);   // 2x3
+  EXPECT_EQ(minLineSpan(6, 10), 5);   // 2x3
+  EXPECT_EQ(minLineSpan(7, 10), 6);   // 3x3 (or 2x4)
+  EXPECT_EQ(minLineSpan(12, 10), 7);  // 3x4
+  EXPECT_EQ(minLineSpan(100, 10), 20);
+}
+
+TEST(MinLineSpan, ClampsToTheGrid) {
+  // 5 cells on a 3x3 grid: 2x3 works; 1x5 does not exist.
+  EXPECT_EQ(minLineSpan(5, 3), 5);
+  // The whole grid always satisfies r = c = n.
+  EXPECT_EQ(minLineSpan(9, 3), 6);
+}
+
+TEST(MinLineSpan, BruteForceAgreement) {
+  const int n = 12;
+  for (std::int64_t cells = 1; cells <= n * n; ++cells) {
+    std::int64_t best = 1000;
+    for (std::int64_t r = 1; r <= n; ++r)
+      for (std::int64_t c = 1; c <= n; ++c)
+        if (r * c >= cells) best = std::min(best, r + c);
+    EXPECT_EQ(minLineSpan(cells, n), best) << "cells=" << cells;
+  }
+}
+
+TEST(VocLowerBound, TightAtTinyGrid) {
+  // n=2, counts {P=2, R=1, S=1}: spans 3+2+2=7 -> 2*7-8 = 6, which the
+  // exhaustive small-N oracle confirms is the true optimum.
+  const Ratio ratio{2, 1, 1};
+  EXPECT_EQ(vocLowerBound(2, ratio), 6);
+  const SmallNOracleResult exact = smallNOptimalVoc(2, ratio);
+  ASSERT_EQ(exact.tier, SmallNOracleTier::kExhaustive);
+  EXPECT_EQ(exact.minVoc, 6);
+}
+
+TEST(VocLowerBound, NeverExceedsTheExhaustiveOptimum) {
+  for (const Ratio& ratio :
+       {Ratio{2, 1, 1}, Ratio{3, 1, 1}, Ratio{5, 2, 1}, Ratio{2, 2, 1}}) {
+    for (const int n : {3, 4, 5}) {
+      const SmallNOracleResult exact = smallNOptimalVoc(n, ratio);
+      if (exact.tier != SmallNOracleTier::kExhaustive) continue;
+      EXPECT_LE(vocLowerBound(n, ratio), exact.minVoc)
+          << "n=" << n << " ratio=" << ratio.str();
+    }
+  }
+}
+
+TEST(VocLowerBound, BelowEveryCanonicalCandidate) {
+  for (const Ratio& ratio : paperRatios()) {
+    for (const int n : {40, 90}) {
+      const std::int64_t bound = vocLowerBound(n, ratio);
+      for (const CandidateShape shape : kAllCandidates) {
+        if (!candidateFeasible(shape, n, ratio)) continue;
+        const auto voc =
+            makeCandidate(shape, n, ratio).volumeOfCommunication();
+        EXPECT_LE(bound, voc) << candidateName(shape) << " n=" << n
+                              << " ratio=" << ratio.str();
+      }
+    }
+  }
+}
+
+TEST(VocLowerBound, ConvergesToTheContinuousForm) {
+  const Ratio ratio{4, 2, 1};
+  const double norm = normalizedVocLowerBound(ratio);
+  const int n = 600;
+  const double integer =
+      static_cast<double>(vocLowerBound(n, ratio)) /
+      (static_cast<double>(n) * static_cast<double>(n));
+  EXPECT_NEAR(integer, norm, 0.02);
+}
+
+TEST(NormalizedVocLowerBound, ClosedFormValues) {
+  // 2:1:1 -> 2(sqrt(1/2) + sqrt(1/4) + sqrt(1/4)) - 2 = sqrt(2).
+  EXPECT_NEAR(normalizedVocLowerBound(Ratio{2, 1, 1}), std::sqrt(2.0), 1e-12);
+  // 1:1:1 -> 2*sqrt(3) - 2.
+  EXPECT_NEAR(normalizedVocLowerBound(Ratio{1, 1, 1}),
+              2.0 * std::sqrt(3.0) - 2.0, 1e-12);
+}
+
+TEST(OptimalityGapPct, Basics) {
+  EXPECT_DOUBLE_EQ(optimalityGapPct(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(optimalityGapPct(90, 100), 0.0);   // never negative
+  EXPECT_DOUBLE_EQ(optimalityGapPct(110, 100), 10.0);
+  EXPECT_DOUBLE_EQ(optimalityGapPct(5, 0), 500.0);    // degenerate bound
+}
+
+}  // namespace
+}  // namespace pushpart

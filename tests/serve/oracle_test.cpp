@@ -178,5 +178,45 @@ TEST(OracleTest, HitLatencyHistogramFills) {
   EXPECT_EQ(stats.tierASolves.count, 1u);
 }
 
+TEST(OracleTest, EveryAnswerCarriesANonNegativeOptimalityGap) {
+  Oracle oracle;
+  for (int n : {40, 90}) {
+    PlanRequest req;
+    req.n = n;
+    req.ratio = Ratio{7, 3, 1};
+    req.tier = PlanTier::kFast;
+    const PlanResponse r = oracle.plan(req);
+    EXPECT_GE(r.answer.optimalityGapPct, 0.0);
+    EXPECT_FALSE(r.answer.familyCandidate.empty());
+    EXPECT_EQ(r.answer.family, FamilyId::kCanonical);
+  }
+}
+
+TEST(OracleTest, ExtendedFamiliesNeverLoseToCanonicalServing) {
+  OracleOptions canonicalOnly;
+  Oracle base(canonicalOnly);
+  OracleOptions extended;
+  extended.families = FamilySet::all();
+  Oracle fam(extended);
+  // R_r = 3 cells are where layered/hierarchical candidates strictly beat
+  // the rounded canonical constructions at n = 90 (see E19).
+  for (double pr : {5.0, 7.0, 12.0}) {
+    PlanRequest req;
+    req.n = 90;
+    req.ratio = Ratio{pr, 3, 1};
+    req.tier = PlanTier::kFast;
+    const PlanResponse a = base.plan(req);
+    const PlanResponse b = fam.plan(req);
+    EXPECT_LE(b.answer.model.execSeconds, a.answer.model.execSeconds);
+    EXPECT_GE(b.answer.optimalityGapPct, 0.0);
+    EXPECT_LE(b.answer.optimalityGapPct, a.answer.optimalityGapPct);
+    // The canonical shape field survives as the best six-shape answer even
+    // when an extended candidate is served.
+    EXPECT_EQ(b.answer.shape, a.answer.shape);
+    if (b.answer.family != FamilyId::kCanonical)
+      EXPECT_LT(b.answer.voc, a.answer.voc);
+  }
+}
+
 }  // namespace
 }  // namespace pushpart

@@ -32,6 +32,10 @@ PlanAnswer richAnswer(int salt) {
   a.model.compSeconds = 1.0 / (salt + 7);
   a.model.execSeconds = a.model.compSeconds + a.model.commSeconds;
   a.voc = 1000 + salt;
+  a.optimalityGapPct = 1.25 * salt;
+  a.family = static_cast<FamilyId>(salt % kNumFamilies);
+  // Every third entry leaves the token empty to exercise the "-" encoding.
+  if (salt % 3 != 0) a.familyCandidate = "layers:P/R-S:r";
   a.tier = salt % 2 == 0 ? PlanTier::kFast : PlanTier::kSearch;
   a.servedTier = a.tier;
   a.solveSeconds = 3.14159e-4 * (salt + 1);
@@ -124,7 +128,7 @@ TEST(SnapshotTest, TruncatedFileKeepsThePrefixEntries) {
 
 TEST(SnapshotTest, VersionMismatchRefusesTheWholeFile) {
   PlanCache restored(64, 4);
-  std::istringstream future("pushpart-plancache v3\nentries 0\n");
+  std::istringstream future("pushpart-plancache v4\nentries 0\n");
   EXPECT_THROW(loadPlanCacheSnapshot(restored, future), std::runtime_error);
   std::istringstream garbage("not a snapshot at all\n");
   EXPECT_THROW(loadPlanCacheSnapshot(restored, garbage), std::runtime_error);
@@ -136,7 +140,7 @@ TEST(SnapshotTest, TryLoadReportsVersionRefusalWithoutThrowing) {
   // snapshot file: the try-variant reports the refusal instead of throwing,
   // and the cache stays untouched.
   PlanCache restored(64, 4);
-  std::istringstream future("pushpart-plancache v3\nentries 0\n");
+  std::istringstream future("pushpart-plancache v4\nentries 0\n");
   const SnapshotLoadReport report = tryLoadPlanCacheSnapshot(restored, future);
   EXPECT_FALSE(report.ok());
   EXPECT_FALSE(report.clean());

@@ -87,6 +87,7 @@
 #include "atlas/io.hpp"
 #include "cluster/cluster.hpp"
 #include "dfa/dfa.hpp"
+#include "family/rank.hpp"
 #include "grid/builder.hpp"
 #include "grid/metrics.hpp"
 #include "grid/render.hpp"
@@ -113,6 +114,7 @@ int usage() {
       "  classify  --in=shape.pp\n"
       "  voc       --in=shape.pp\n"
       "  recommend --n=120 --ratio=10:1:1 [--algo=SCB] [--topology=full|star]\n"
+      "            [--families=canonical|all|layered,...]\n"
       "            [--bandwidth-mbs=1000] [--flops=1e9] [--out=shape.pp]\n"
       "  plan      --n=1000 --ratio=5:2:1 [--algo=SCB] [--tier=fast|search]\n"
       "            [--runs=16] [--seed=1] [--topology=full|star] [--hub=P]\n"
@@ -120,6 +122,7 @@ int usage() {
       "            [--deadline-ms=50] [--max-concurrency=4] [--max-queue=16]\n"
       "            [--snapshot=plans.snap] [--atlas=surface.atlas]\n"
       "            [--atlas-gap-pct=5] [--no-atlas-prefetch]\n"
+      "            [--families=canonical|all|layered,...]\n"
       "            [--adaptive --observed-ratio=4:2:1 --phases=6\n"
       "             --stale-gap-pct=5 --hysteresis=2 --min-replan-s=0]\n"
       "  drift     [--phases=120] [--seed=42] [--n=96] [--algo=SCB]\n"
@@ -228,20 +231,40 @@ int cmdRecommend(const Flags& flags) {
                                 ? Topology::kStar
                                 : Topology::kFullyConnected;
 
-  const auto ranked = rankCandidates(algo, n, machine, topology);
-  Table table({"shape", "VoC", "exec (s)"});
-  for (const auto& r : ranked)
-    table.addRow(candidateName(r.shape),
-                 {static_cast<double>(r.voc), r.model.execSeconds});
+  const FamilySet families =
+      FamilySet::parse(flags.str("families", "canonical"));
+
+  const auto ranked = rankFamilyCandidates(algo, n, machine, families,
+                                           topology);
+  Table table({"candidate", "family", "VoC", "gap%", "exec (s)"});
+  for (const auto& r : ranked) {
+    char voc[32], gap[32], exec[32];
+    std::snprintf(voc, sizeof(voc), "%lld", static_cast<long long>(r.voc));
+    std::snprintf(gap, sizeof(gap), "%.3g", r.gapPct);
+    std::snprintf(exec, sizeof(exec), "%g", r.model.execSeconds);
+    table.addRow({r.name, familyName(r.family), voc, gap, exec});
+  }
   table.print(std::cout);
   if (ranked.empty()) {
     std::cerr << "no feasible candidate\n";
     return 1;
   }
-  std::cout << "\nrecommended: " << candidateName(ranked.front().shape) << "\n";
+  std::cout << "\nrecommended: " << ranked.front().name << "\n";
   const std::string out = flags.str("out", "");
   if (!out.empty()) {
-    savePartition(makeCandidate(ranked.front().shape, n, machine.ratio), out);
+    // Rebuild the winner's partition from the registry (ranking keeps only
+    // metadata) and save it like the shape-only path always did.
+    std::optional<Partition> winner;
+    builtinFamilies().forEach(n, machine.ratio, families,
+                              [&](const FamilyCandidate& c) {
+                                if (!winner && c.name == ranked.front().name)
+                                  winner = c.partition;
+                              });
+    if (!winner) {
+      std::cerr << "could not rebuild winner partition\n";
+      return 1;
+    }
+    savePartition(*winner, out);
     std::cout << "saved to " << out << "\n";
   }
   return 0;
@@ -278,12 +301,17 @@ void printPlanResponse(const PlanResponse& r) {
     return;
   }
   std::printf(
-      "  shape=%s exec=%gs voc=%lld tier=%s served=%s %s latency=%gus\n",
+      "  shape=%s exec=%gs voc=%lld gap=%.3g%% tier=%s served=%s %s "
+      "latency=%gus\n",
       candidateName(r.answer.shape), r.answer.model.execSeconds,
-      static_cast<long long>(r.answer.voc), planTierName(r.answer.tier),
-      planTierName(r.answer.servedTier),
+      static_cast<long long>(r.answer.voc), r.answer.optimalityGapPct,
+      planTierName(r.answer.tier), planTierName(r.answer.servedTier),
       r.cacheHit ? "hit" : (r.coalesced ? "coalesced" : "miss"),
       r.latencySeconds * 1e6);
+  if (r.answer.family != FamilyId::kCanonical)
+    std::printf("  family: %s candidate %s beat every canonical shape\n",
+                familyName(r.answer.family),
+                r.answer.familyCandidate.c_str());
   if (!r.answer.fullFidelity())
     std::printf("  DEGRADED: %s%s%s\n", degradeReasonName(r.answer.degrade),
                 r.answer.truncated ? ", search truncated" : "",
@@ -426,6 +454,7 @@ int cmdPlanOracle(const Flags& flags) {
   options.admission.maxConcurrency =
       static_cast<int>(flags.i64("max-concurrency", 0));
   options.admission.maxQueue = static_cast<int>(flags.i64("max-queue", 16));
+  options.families = FamilySet::parse(flags.str("families", "canonical"));
 
   const std::string atlasPath = flags.str("atlas", "");
   if (!atlasPath.empty()) {
@@ -625,6 +654,22 @@ int cmdAtlasInspect(const Flags& flags) {
     }
     std::printf("\n");
   }
+
+  // Lower-bound gap summary over the solved surface (src/bounds): how far
+  // the winning shapes sit above the communication lower bound.
+  double gapSum = 0.0, gapMax = 0.0;
+  std::size_t gapCells = 0;
+  for (int i = 0; i < spec.prSteps; ++i)
+    for (int j = 0; j < spec.rrSteps; ++j)
+      if (const std::optional<AtlasCell> cell = atlas.cell(i, j);
+          cell && cell->solved) {
+        gapSum += cell->lowerBoundGapPct;
+        gapMax = std::max(gapMax, cell->lowerBoundGapPct);
+        ++gapCells;
+      }
+  if (gapCells > 0)
+    std::printf("lower-bound gap: mean %.3g%% max %.3g%% over %zu cells\n",
+                gapSum / static_cast<double>(gapCells), gapMax, gapCells);
 
   const std::vector<std::pair<int, int>> edges = atlas.boundaryCells();
   std::printf("boundary cells: %zu of %zu solved\n", edges.size(),
